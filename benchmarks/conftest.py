@@ -1,0 +1,29 @@
+"""Benchmark-suite configuration.
+
+Each paper artifact gets one benchmark module. Heavy experiment drivers
+run exactly once per session (cached here) and are timed with
+``benchmark.pedantic(rounds=1)``; the rendered rows/series are printed so
+``pytest benchmarks/ --benchmark-only -s`` regenerates every table and
+figure of the paper in one go.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.controller import HBOConfig
+
+#: The paper's exploration budget (§V-B): 5 random + 15 guided iterations.
+PAPER_CONFIG = HBOConfig()
+#: Seed used across the benchmark suite.
+BENCH_SEED = 2024
+
+
+@pytest.fixture(scope="session")
+def paper_config() -> HBOConfig:
+    return PAPER_CONFIG
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time a heavy experiment exactly once and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

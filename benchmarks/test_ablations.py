@@ -1,0 +1,191 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+- Acquisition function: EI (the paper's pick) vs PI vs LCB (§IV-C).
+- Kernel: Matérn-5/2 (Eq. 7) vs Matérn-3/2 vs RBF.
+- Triangle distribution: TD (sensitivity-weighted) vs uniform vs the
+  marginal-gain greedy reference.
+- Allocation translation: the greedy priority-queue drain vs a random
+  assignment under the same count vector.
+
+Each ablation prints a small comparison table; assertions pin the
+*defensible* claims (the paper's choice is at least competitive) rather
+than strict dominance, which would be seed-dependent.
+"""
+
+import numpy as np
+import pytest
+from conftest import BENCH_SEED, run_once
+
+from repro.ar.distribution import (
+    distribute_triangles,
+    greedy_optimal_distribution,
+    uniform_distribution,
+)
+from repro.ar.quality import average_quality
+from repro.bo.acquisition import make_acquisition
+from repro.bo.kernels import make_kernel
+from repro.core.allocation import allocate_tasks, proportions_to_counts
+from repro.core.controller import HBOConfig, HBOController
+from repro.device.resources import ALL_RESOURCES
+from repro.experiments.report import format_table
+from repro.rng import derive_seed, make_rng
+from repro.sim.scenarios import build_system
+
+CONFIG = HBOConfig()
+
+
+def _mean_best_cost(seeds, **controller_kwargs):
+    costs = []
+    for seed in seeds:
+        system = build_system("SC1", "CF1", seed=derive_seed(seed, "abl"))
+        controller = HBOController(system, CONFIG, seed=seed, **controller_kwargs)
+        costs.append(controller.activate().best.cost)
+    return float(np.mean(costs)), costs
+
+
+def test_ablation_acquisition(benchmark):
+    """EI vs PI vs LCB over repeated SC1-CF1 activations."""
+    seeds = [BENCH_SEED + i for i in range(3)]
+
+    def run():
+        results = {}
+        for name in ("ei", "pi", "lcb"):
+            mean, costs = _mean_best_cost(
+                seeds, acquisition=make_acquisition(name)
+            )
+            results[name] = (mean, costs)
+        return results
+
+    results = run_once(benchmark, run)
+    rows = [
+        [name.upper(), mean, " ".join(f"{c:.3f}" for c in costs)]
+        for name, (mean, costs) in results.items()
+    ]
+    print(
+        "\n"
+        + format_table(
+            ["Acquisition", "mean best cost", "per-run"],
+            rows,
+            title="Ablation — acquisition function (SC1-CF1, lower is better)",
+        )
+    )
+    # The paper's EI must be at least competitive with the alternatives.
+    assert results["ei"][0] <= min(r[0] for r in results.values()) + 0.25
+
+
+def test_ablation_kernel(benchmark):
+    """Matérn-5/2 (the paper's Eq. 7) vs Matérn-3/2 vs RBF."""
+    seeds = [BENCH_SEED + i for i in range(3)]
+
+    def run():
+        results = {}
+        for name in ("matern52", "matern32", "rbf"):
+            mean, costs = _mean_best_cost(seeds, kernel=make_kernel(name))
+            results[name] = (mean, costs)
+        return results
+
+    results = run_once(benchmark, run)
+    rows = [
+        [name, mean, " ".join(f"{c:.3f}" for c in costs)]
+        for name, (mean, costs) in results.items()
+    ]
+    print(
+        "\n"
+        + format_table(
+            ["Kernel", "mean best cost", "per-run"],
+            rows,
+            title="Ablation — GP kernel (SC1-CF1, lower is better)",
+        )
+    )
+    assert results["matern52"][0] <= min(r[0] for r in results.values()) + 0.25
+
+
+def test_ablation_triangle_distribution(benchmark):
+    """TD vs uniform vs greedy marginal-gain on SC1 across budgets."""
+
+    def run():
+        system = build_system("SC1", "CF1", seed=BENCH_SEED)
+        objects = system.objects_map()
+        distances = system.scene.distances()
+        ids = sorted(objects)
+        models = [objects[i].degradation for i in ids]
+        dists = [distances[i] for i in ids]
+        rows = []
+        td_wins = 0
+        for x in (0.8, 0.65, 0.5, 0.35):
+            qualities = {}
+            for name, fn in (
+                ("TD", distribute_triangles),
+                ("uniform", uniform_distribution),
+                ("greedy", greedy_optimal_distribution),
+            ):
+                ratios = fn(objects, distances, x)
+                qualities[name] = average_quality(
+                    models, [ratios[i] for i in ids], dists
+                )
+            rows.append(
+                [x, qualities["TD"], qualities["uniform"], qualities["greedy"]]
+            )
+            if qualities["TD"] >= qualities["uniform"] - 0.01:
+                td_wins += 1
+        return rows, td_wins
+
+    rows, td_wins = run_once(benchmark, run)
+    print(
+        "\n"
+        + format_table(
+            ["budget x", "Q (TD)", "Q (uniform)", "Q (greedy)"],
+            rows,
+            title="Ablation — triangle distribution (SC1, Eq. 2 quality)",
+        )
+    )
+    # TD is a heuristic: it must stay competitive with the uniform split
+    # across budgets; the marginal-gain greedy is the near-optimal upper
+    # reference and must dominate the uniform split.
+    assert td_wins >= 3
+    for _x, q_td, q_uni, q_greedy in rows:
+        assert q_td >= q_uni - 0.02
+        assert q_greedy >= q_uni - 1e-6
+
+
+def test_ablation_greedy_vs_random_allocation(benchmark):
+    """The Lines 13-22 priority-queue drain vs random assignment under the
+    same count vector: greedy must place the fast pairs better."""
+
+    def run():
+        system = build_system("SC1", "CF1", seed=BENCH_SEED, noise_sigma=0.0)
+        taskset = system.taskset
+        rng = make_rng(BENCH_SEED)
+        c = np.array([0.5, 0.0, 0.5])
+        counts = proportions_to_counts(c, len(taskset))
+
+        greedy_alloc = allocate_tasks(taskset, counts)
+        system.apply(greedy_alloc, 0.6)
+        greedy_eps = system.measure(samples=1).epsilon
+
+        random_eps = []
+        for _ in range(20):
+            ids = list(taskset.task_ids)
+            rng.shuffle(ids)
+            alloc = {}
+            pool = []
+            for res, k in zip(ALL_RESOURCES, counts):
+                pool.extend([res] * k)
+            feasible = True
+            for tid, res in zip(ids, pool):
+                if not taskset.by_id(tid).profile.supports(res):
+                    feasible = False
+                    break
+                alloc[tid] = res
+            if not feasible:
+                continue
+            system.apply(alloc, 0.6)
+            random_eps.append(system.measure(samples=1).epsilon)
+        return greedy_eps, float(np.mean(random_eps)), len(random_eps)
+
+    greedy_eps, random_mean, n = run_once(benchmark, run)
+    print(
+        f"\nAblation — allocation drain: greedy eps={greedy_eps:.3f}, "
+        f"random-mean eps={random_mean:.3f} over {n} shuffles"
+    )
+    assert greedy_eps <= random_mean + 1e-6

@@ -1,0 +1,35 @@
+"""Fig. 2 — the motivation study time series (three scripted runs).
+
+Checks the paper's §III-B narrative arcs hold in the simulator: NNAPI
+pile-up grows latency, virtual objects spike every NNAPI task, a CPU
+relocation under load helps everyone, and a second CPU relocation
+backfires for the CPU residents."""
+
+import numpy as np
+from conftest import BENCH_SEED, run_once
+
+from repro.experiments import fig2
+
+
+def test_fig2_motivation(benchmark):
+    runs = run_once(benchmark, fig2.run_all, seed=BENCH_SEED)
+    print("\n" + fig2.render(runs))
+    by_name = {run.name: run for run in runs}
+
+    b = by_name["fig2b-deeplab-cpu-nnapi"]
+    # Objects arriving spike the NNAPI residents (Fig. 2b, t ≈ 150-200 s).
+    pre_objects = b.mean_at(100, 115)
+    with_objects = b.mean_at(182, 198)
+    assert with_objects > 1.2 * pre_objects
+    # Relocating to CPU under load recovers latency for the others.
+    final_nnapi = float(np.nanmean(b.series("deeplabv3_1")[-4:]))
+    assert final_nnapi < float(np.nanmean(b.series("deeplabv3_1")[37:40]))
+    # ...but the CPU pair ends worse off than the NNAPI residents.
+    cpu_final = float(np.nanmean(b.series("deeplabv3_4")[-3:]))
+    assert cpu_final > 1.05 * final_nnapi
+
+    a = by_name["fig2a-deconv-cpu-gpu"]
+    # Moving deconv_1 CPU→GPU at t=25 improves it (GPU affinity).
+    before = float(np.nanmean(a.series("deconv_1")[2:5]))
+    after = float(np.nanmean(a.series("deconv_1")[6:9]))
+    assert after < before

@@ -1,0 +1,51 @@
+"""Fig. 4 + Table III — HBO behavior across the four Table II scenarios.
+
+Paper shapes asserted: heavy-object scenarios (SC1) reduce the triangle
+ratio and move GPU-preferring tasks off the GPU delegate; light-object
+scenarios (SC2) keep near-full triangle budgets; convergence settles well
+before the iteration budget is exhausted."""
+
+import numpy as np
+from conftest import BENCH_SEED, run_once
+
+from repro.device.resources import Resource
+from repro.experiments import fig4
+
+
+def test_fig4_table3_scenarios(benchmark, paper_config):
+    result = run_once(
+        benchmark, fig4.run_fig4, seed=BENCH_SEED, config=paper_config
+    )
+    print("\n" + fig4.render(result))
+
+    sc1cf1 = result.runs["SC1-CF1"]
+    sc2cf2 = result.runs["SC2-CF2"]
+    sc1cf2 = result.runs["SC1-CF2"]
+    sc2cf1 = result.runs["SC2-CF1"]
+
+    # Fig. 4b: SC1 scenarios decimate; SC2 scenarios keep (near-)full quality.
+    assert sc1cf1.best_triangle_ratio < 0.8
+    assert sc1cf2.best_triangle_ratio < 0.85
+    assert sc2cf2.best_triangle_ratio > 0.7
+    assert sc2cf2.best_triangle_ratio >= sc1cf2.best_triangle_ratio
+
+    # Table III: NNAPI-affine tasks stay on NNAPI everywhere.
+    for run in (sc1cf1, sc2cf1):
+        assert run.best_allocation["mobilenetDetv1"] is Resource.NNAPI
+        assert run.best_allocation["efficientclass-lite0"] is Resource.NNAPI
+    # SC1-CF1: the GPU-preferring model-metadata pair cannot both stay on
+    # the rendering-contended GPU delegate.
+    gpu_mmdata = sum(
+        1
+        for t in ("model-metadata_1", "model-metadata_2")
+        if sc1cf1.best_allocation[t] is Resource.GPU_DELEGATE
+    )
+    assert gpu_mmdata <= 1
+
+    # Fig. 4c: every scenario converges (best cost at the end is within a
+    # whisker of the best cost at 3/4 budget).
+    for key in result.keys():
+        trajectory = result.convergence(key)
+        assert trajectory[-1] <= trajectory[0] + 1e-9
+        three_quarters = trajectory[int(0.75 * len(trajectory))]
+        assert trajectory[-1] >= three_quarters - 0.5

@@ -1,0 +1,38 @@
+"""Fig. 6 — in-depth analysis of one HBO execution on SC1-CF1.
+
+Paper shapes asserted: the consecutive-configuration distances show both
+exploration (large) and exploitation (small) moves; the best cost
+converges; the per-task comparison against SMQ shows HBO improving the
+NNAPI residents (the paper reports +103% best / +23.8% worst)."""
+
+import numpy as np
+from conftest import BENCH_SEED, run_once
+
+from repro.experiments import fig6
+
+
+def test_fig6_analysis(benchmark, paper_config):
+    result = run_once(
+        benchmark, fig6.run_fig6, seed=BENCH_SEED, config=paper_config
+    )
+    print("\n" + fig6.render(result))
+
+    distances = result.consecutive_distances
+    # Fig. 6a: exploration and exploitation both present.
+    assert distances.max() > 3 * max(distances.min(), 1e-6)
+
+    # Fig. 6b: monotone best-cost, improving over the first evaluation.
+    trajectory = result.best_cost_trajectory
+    assert np.all(np.diff(trajectory) <= 1e-12)
+    assert trajectory[-1] < trajectory[0] + 1e-9
+
+    # Fig. 6c: the selected iteration is the arg-min of the cost series.
+    costs = [it.cost for it in result.hbo.result.iterations]
+    assert result.best_index == int(np.argmin(costs))
+
+    # Fig. 6d: on average HBO's per-task latency beats SMQ's at the same
+    # triangle ratio, and at least one NNAPI-resident task improves by a
+    # decent margin (the paper's best case is +103%).
+    improvements = result.per_task_improvement()
+    assert np.mean(list(improvements.values())) > 0.1
+    assert max(improvements.values()) > 0.2

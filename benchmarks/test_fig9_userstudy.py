@@ -1,0 +1,28 @@
+"""Fig. 9 — the simulated user study: HBO vs SML perceived quality.
+
+Paper shapes asserted (§V-E): HBO keeps a substantially higher triangle
+ratio than SML at comparable AI latency, so its panel ratings stay near
+the ceiling while SML's drop — the paper reports 4.9/5.0 vs 3.0/3.6,
+"up to 38.7%" better."""
+
+from conftest import BENCH_SEED, run_once
+
+from repro.experiments import fig9
+
+
+def test_fig9_userstudy(benchmark, paper_config):
+    result = run_once(
+        benchmark, fig9.run_fig9, seed=BENCH_SEED, config=paper_config
+    )
+    print("\n" + fig9.render(result))
+
+    # HBO retains a higher triangle budget than latency-matched SML.
+    assert result.hbo_ratio > result.sml_ratio
+    # Ratings: HBO at or above SML in both viewing conditions, with a
+    # positive best-case improvement.
+    assert result.mean("HBO/close") >= result.mean("SML/close")
+    assert result.mean("HBO/far") >= result.mean("SML/far") - 0.2
+    assert result.improvement() > 0.02
+    # Scores live on the questionnaire scale.
+    for key in ("HBO/close", "HBO/far", "SML/close", "SML/far"):
+        assert 1.0 <= result.mean(key) <= 5.0

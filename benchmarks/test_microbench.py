@@ -1,0 +1,84 @@
+"""Microbenchmarks of the hot kernels (proper multi-round timings).
+
+The paper reports HBO's on-device overhead at ~50 ms per activation step
+(§VI); these benches track the simulator-side analogues: one contention
+evaluation, one GP fit+acquisition maximization, one TD distribution, one
+mesh decimation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ar.decimation import decimate
+from repro.ar.distribution import distribute_triangles
+from repro.ar.mesh import make_procedural
+from repro.bo.acquisition import ExpectedImprovement
+from repro.bo.gp import GaussianProcess
+from repro.bo.space import HBOSpace
+from repro.core.allocation import allocate_tasks, proportions_to_counts
+from repro.models.tasks import taskset_cf1
+from repro.sim.scenarios import build_system
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_system("SC1", "CF1", seed=1, noise_sigma=0.0)
+
+
+def test_contention_evaluation(benchmark, system):
+    """One full per-task latency evaluation under contention."""
+    device = system.device
+    placements = device.placements()
+    load = device.load
+    result = benchmark(device.contention.latencies, placements, load)
+    assert len(result) == 6
+
+
+def test_measure_period(benchmark, system):
+    """One 20-sample control-period measurement (Algorithm 1, Line 24)."""
+    result = benchmark(system.measure)
+    assert result.mean_latency_ms > 0
+
+
+def test_gp_fit_and_acquisition(benchmark):
+    """Surrogate fit + EI maximization over 512 candidates (Line 1)."""
+    space = HBOSpace(3, r_min=0.1)
+    rng = np.random.default_rng(0)
+    x = space.sample(rng, 20)
+    y = np.sin(x[:, 0] * 3) + x[:, 3]
+    acquisition = ExpectedImprovement()
+
+    def step():
+        gp = GaussianProcess().fit(x, y)
+        candidates = space.sample(rng, 512)
+        return acquisition(gp, candidates, float(y.min()))
+
+    scores = benchmark(step)
+    assert scores.shape == (512,)
+
+
+def test_heuristic_allocation(benchmark):
+    """Lines 2-22: counts + priority-queue drain for CF1."""
+    taskset = taskset_cf1()
+
+    def step():
+        counts = proportions_to_counts([0.4, 0.1, 0.5], len(taskset))
+        return allocate_tasks(taskset, counts)
+
+    allocation = benchmark(step)
+    assert len(allocation) == 6
+
+
+def test_triangle_distribution(benchmark, system):
+    """Line 23: TD across the SC1 scene."""
+    objects = system.objects_map()
+    distances = system.scene.distances()
+    ratios = benchmark(distribute_triangles, objects, distances, 0.6)
+    assert len(ratios) == 9
+
+
+def test_mesh_decimation(benchmark):
+    """One LOD generation on a 4k-triangle asset (the Fig. 3 server)."""
+    mesh = make_procedural("bench-asset", 4_000)
+    decimated = benchmark(decimate, mesh, 0.4)
+    assert 0 < decimated.n_triangles < mesh.n_triangles

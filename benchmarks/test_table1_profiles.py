@@ -1,0 +1,16 @@
+"""Table I — baseline response times of the models on both devices.
+
+Regenerates the isolation-latency table and verifies the simulator
+reproduces the paper's profiles (they are calibration inputs, so the
+fidelity bound is tight)."""
+
+from conftest import BENCH_SEED, run_once
+
+from repro.experiments import table1
+
+
+def test_table1_profiles(benchmark):
+    result = run_once(benchmark, table1.run_table1, seed=BENCH_SEED, samples=40)
+    print("\n" + table1.render(result))
+    assert result.max_relative_error() < 0.03
+    assert len(result.rows) == 18

@@ -1,0 +1,73 @@
+"""An AR museum tour: the event-based activation policy at work.
+
+The paper's §VI motivates HBO with educational/professional AR apps where
+users inspect objects for extended periods — a museum guide is the
+canonical case. This example scripts such a session: exhibits (virtual
+objects) appear one by one as the visitor walks the gallery, a heavy
+exhibit lands mid-tour, and at the end the visitor steps back for an
+overview. The event-based policy re-optimizes only when the reward
+actually drifts, and we print the activation log alongside a periodic
+policy's for contrast.
+
+Run:  python examples/adaptive_museum.py
+"""
+
+from repro import EventBasedPolicy, HBOConfig, HBOController, MonitoringEngine, PeriodicPolicy
+from repro.ar.objects import object_by_name
+from repro.sim.events import DistanceChange, ObjectPlacement
+from repro.sim.scenarios import build_system
+
+# Gallery script: (time s, exhibit asset, position).
+TOUR = [
+    (0.0, "cabin", (0.5, 0.0, 1.2)),
+    (30.0, "andy", (-0.6, 0.2, 1.0)),
+    (60.0, "hammer", (0.2, -0.3, 1.5)),
+    (95.0, "ATV", (-0.4, 0.1, 1.8)),
+    (130.0, "Cocacola", (0.7, 0.0, 1.1)),  # first heavier piece
+    (170.0, "bike", (0.0, 0.2, 1.4)),  # the 178k-triangle centerpiece
+]
+STEP_BACK_AT = 230.0
+TOUR_END = 300.0
+
+
+def run_session(policy, label: str) -> None:
+    system = build_system("SC2", "CF1", seed=42, place_objects=False)
+    controller = HBOController(
+        system, HBOConfig(n_initial=4, n_iterations=8), seed=42
+    )
+    engine = MonitoringEngine(controller, policy, monitor_interval_s=2.0)
+
+    events = [
+        ObjectPlacement(
+            time_s=t, instance_id=f"exhibit_{i}_{name}",
+            obj=object_by_name(name), position=pos,
+        )
+        for i, (t, name, pos) in enumerate(TOUR)
+    ]
+    events.append(DistanceChange(time_s=STEP_BACK_AT, user_position=(0, 0, -1.5)))
+
+    report = engine.run(events, duration_s=TOUR_END)
+    print(f"\n=== {label}: {report.n_activations} activations ===")
+    for activation in report.trace.activations:
+        print(
+            f"  t={activation.start_time_s:5.0f}s  trigger: "
+            f"{activation.trigger:<45s} reward {activation.reward_before:+.2f}"
+            f" -> {activation.reward_after:+.2f}  (x={activation.best_triangle_ratio:.2f})"
+        )
+    print(f"  final reward: {report.final_reward:+.2f}")
+
+
+def main() -> None:
+    print("AR museum tour: six exhibits placed over 3 simulated minutes,")
+    print("then the visitor steps back for an overview.")
+    run_session(EventBasedPolicy(), "event-based policy (the paper's)")
+    run_session(PeriodicPolicy(period=15), "periodic policy (every 30 s)")
+    print(
+        "\nThe event-based policy re-optimizes only when the placement or"
+        "\nmovement actually moved the reward; the periodic policy burns"
+        "\nexploration periods on a schedule whether needed or not."
+    )
+
+
+if __name__ == "__main__":
+    main()

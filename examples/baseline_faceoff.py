@@ -1,0 +1,88 @@
+"""Baseline face-off: reproduce the paper's Fig. 5 comparison end to end.
+
+Runs HBO and all four baselines (SMQ, SML, BNT, AllN) on identically
+built SC1-CF1 systems and prints the quality/latency table — the same
+numbers the Fig. 5 benchmark regenerates, but as a minimal script you can
+tweak (change the scenario, the weight w, the seed) to explore the
+trade-off space.
+
+Run:  python examples/baseline_faceoff.py [scenario] [taskset]
+"""
+
+import sys
+
+from repro import (
+    AllNNAPIBaseline,
+    BayesianNoTriangleBaseline,
+    HBOConfig,
+    HBOController,
+    StaticMatchLatencyBaseline,
+    StaticMatchQualityBaseline,
+    build_system,
+)
+from repro.experiments.report import format_table
+from repro.rng import derive_seed
+
+SEED = 2024
+
+
+def main() -> None:
+    scenario = sys.argv[1] if len(sys.argv) > 1 else "SC1"
+    taskset = sys.argv[2] if len(sys.argv) > 2 else "CF1"
+    config = HBOConfig()
+
+    def fresh():
+        return build_system(
+            scenario, taskset, seed=derive_seed(SEED, scenario, taskset)
+        )
+
+    print(f"Scenario {scenario}-{taskset}, w={config.w}, "
+          f"{config.total_evaluations} evaluations per activation.\n")
+
+    hbo_system = fresh()
+    controller = HBOController(hbo_system, config, seed=SEED)
+    hbo = controller.activate()
+    hbo_measurement = hbo.final_measurement
+
+    rows = [
+        [
+            "HBO",
+            hbo.best.triangle_ratio,
+            hbo_measurement.quality,
+            hbo_measurement.epsilon,
+            hbo_measurement.mean_latency_ms,
+        ]
+    ]
+    baselines = [
+        StaticMatchQualityBaseline(hbo.best.triangle_ratio),
+        StaticMatchLatencyBaseline(hbo_measurement.epsilon),
+        BayesianNoTriangleBaseline(config=config, seed=derive_seed(SEED, "bnt")),
+        AllNNAPIBaseline(),
+    ]
+    for baseline in baselines:
+        outcome = baseline.run(fresh())
+        rows.append(
+            [
+                outcome.name,
+                outcome.triangle_ratio,
+                outcome.quality,
+                outcome.epsilon,
+                outcome.mean_latency_ms,
+            ]
+        )
+
+    print(
+        format_table(
+            ["Policy", "triangle ratio", "quality Q", "norm. latency", "mean ms"],
+            rows,
+            title="HBO vs baselines",
+        )
+    )
+    hbo_eps = hbo_measurement.epsilon
+    print("\nLatency multiples vs HBO:")
+    for row in rows[1:]:
+        print(f"  {row[0]:<5s} {row[3] / hbo_eps:5.2f}x")
+
+
+if __name__ == "__main__":
+    main()

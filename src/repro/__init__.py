@@ -1,0 +1,101 @@
+"""HBO: joint AI task allocation and virtual object quality manipulation
+for improved MAR app performance.
+
+A full reproduction of the ICDCS 2024 paper as a Python library. The
+paper's contribution — a Bayesian-optimization controller (HBO) that
+jointly picks per-AI-task compute allocations and the total virtual-object
+triangle budget — lives in :mod:`repro.core`; everything it runs on is
+built here too:
+
+- :mod:`repro.bo` — Gaussian-process Bayesian optimization from scratch
+  (Matérn-5/2 kernel, Expected Improvement, simplex-constrained space).
+- :mod:`repro.device` — a heterogeneous mobile-SoC contention simulator
+  calibrated to the paper's Table I (Pixel 7, Galaxy S22).
+- :mod:`repro.models` — the AI model zoo and the CF1/CF2 tasksets.
+- :mod:`repro.ar` — meshes, decimation, the eAR quality model (Eq. 1/2),
+  the SC1/SC2 object catalogs, rendering load, and the TD heuristic.
+- :mod:`repro.baselines` — SMQ, SML, BNT, AllN.
+- :mod:`repro.sim` — scripted sessions and the §IV-E monitoring loop.
+- :mod:`repro.experiments` — a driver per paper table/figure.
+- :mod:`repro.userstudy` — the simulated §V-E rater panel.
+
+Quickstart::
+
+    from repro import HBOConfig, HBOController, build_system
+
+    system = build_system("SC1", "CF1", seed=7)
+    controller = HBOController(system, HBOConfig(w=2.5), seed=7)
+    result = controller.activate()
+    best = result.best
+    print(best.allocation, best.triangle_ratio, best.measurement.quality)
+"""
+
+from repro.ar.objects import VirtualObject, catalog_sc1, catalog_sc2
+from repro.ar.scene import Scene
+from repro.baselines import (
+    AllNNAPIBaseline,
+    BayesianNoTriangleBaseline,
+    StaticMatchLatencyBaseline,
+    StaticMatchQualityBaseline,
+)
+from repro.bo import BayesianOptimizer, ExpectedImprovement, GaussianProcess, HBOSpace, Matern
+from repro.core import (
+    EventBasedPolicy,
+    HBOConfig,
+    HBOController,
+    HBORunResult,
+    LookupAwareController,
+    LookupTable,
+    MARSystem,
+    Measurement,
+    NetworkLink,
+    PeriodicPolicy,
+)
+from repro.device import DeviceSimulator, Resource, galaxy_s22_soc, pixel7_soc
+from repro.errors import ReproError
+from repro.models import ModelZoo, TaskSet, taskset_cf1, taskset_cf2
+from repro.sim import MonitoringEngine
+from repro.sim.scenarios import build_system, fig8_event_script
+from repro.userstudy import RaterPanel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllNNAPIBaseline",
+    "BayesianNoTriangleBaseline",
+    "BayesianOptimizer",
+    "DeviceSimulator",
+    "EventBasedPolicy",
+    "ExpectedImprovement",
+    "GaussianProcess",
+    "HBOConfig",
+    "HBOController",
+    "HBORunResult",
+    "HBOSpace",
+    "LookupAwareController",
+    "LookupTable",
+    "MARSystem",
+    "Matern",
+    "Measurement",
+    "ModelZoo",
+    "NetworkLink",
+    "MonitoringEngine",
+    "PeriodicPolicy",
+    "RaterPanel",
+    "ReproError",
+    "Resource",
+    "Scene",
+    "StaticMatchLatencyBaseline",
+    "StaticMatchQualityBaseline",
+    "TaskSet",
+    "VirtualObject",
+    "__version__",
+    "build_system",
+    "catalog_sc1",
+    "catalog_sc2",
+    "fig8_event_script",
+    "galaxy_s22_soc",
+    "pixel7_soc",
+    "taskset_cf1",
+    "taskset_cf2",
+]

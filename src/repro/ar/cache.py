@@ -1,0 +1,134 @@
+"""LOD cache and the simulated decimation server (Fig. 3's right side).
+
+In the paper, each decimated object version "can either be found in the
+local cache or downloaded from a server executing a virtual object
+decimation algorithm" (§IV-A). We reproduce both halves:
+
+- :class:`LODCache` — a bounded LRU cache of decimated meshes keyed by
+  (object name, quantized ratio), with hit/miss counters.
+- :class:`DecimationServer` — the edge server: decimates on request,
+  trains Eq. 1 parameters offline, and reports a simulated download
+  latency so experiments can account for the fetch cost of cache misses.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.ar.decimation import decimate
+from repro.ar.degradation import (
+    DegradationParams,
+    fit_degradation_params,
+    synthesize_training_samples,
+)
+from repro.ar.mesh import TriangleMesh
+from repro.ar.objects import VirtualObject
+from repro.errors import ConfigurationError
+
+#: Ratios are quantized to this step for cache keys — requesting 0.714
+#: and 0.716 should reuse the same LOD asset.
+RATIO_QUANTUM = 0.02
+
+
+def quantize_ratio(ratio: float) -> float:
+    """Snap a ratio to the cache's quantum grid (never below one quantum)."""
+    if not 0.0 < ratio <= 1.0:
+        raise ConfigurationError(f"ratio must be in (0, 1], got {ratio}")
+    steps = max(1, round(ratio / RATIO_QUANTUM))
+    return min(1.0, steps * RATIO_QUANTUM)
+
+
+class LODCache:
+    """Bounded LRU cache of decimated meshes."""
+
+    def __init__(self, max_entries: int = 128) -> None:
+        if max_entries < 1:
+            raise ConfigurationError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._store: "OrderedDict[Tuple[str, float], TriangleMesh]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get(self, name: str, ratio: float) -> Optional[TriangleMesh]:
+        key = (name, quantize_ratio(ratio))
+        mesh = self._store.get(key)
+        if mesh is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return mesh
+
+    def put(self, name: str, ratio: float, mesh: TriangleMesh) -> None:
+        key = (name, quantize_ratio(ratio))
+        self._store[key] = mesh
+        self._store.move_to_end(key)
+        while len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class FetchResult:
+    """A decimated mesh plus where it came from and what the fetch cost."""
+
+    mesh: TriangleMesh
+    from_cache: bool
+    latency_ms: float
+
+
+class DecimationServer:
+    """The simulated edge server of Fig. 3.
+
+    Serves decimated LODs (through the local cache) and runs the offline
+    Eq. 1 parameter training. Download latency is modelled as a fixed
+    round-trip plus a per-triangle transfer term.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[LODCache] = None,
+        rtt_ms: float = 20.0,
+        ms_per_million_triangles: float = 120.0,
+        mesh_resolution: int = 3_000,
+    ) -> None:
+        if rtt_ms < 0:
+            raise ConfigurationError(f"rtt_ms must be >= 0, got {rtt_ms}")
+        if ms_per_million_triangles < 0:
+            raise ConfigurationError(
+                f"ms_per_million_triangles must be >= 0, got {ms_per_million_triangles}"
+            )
+        self.cache = cache if cache is not None else LODCache()
+        self.rtt_ms = float(rtt_ms)
+        self.ms_per_million_triangles = float(ms_per_million_triangles)
+        self.mesh_resolution = int(mesh_resolution)
+
+    def fetch(self, obj: VirtualObject, ratio: float) -> FetchResult:
+        """Return the decimated mesh for (object, ratio), cache-first."""
+        q = quantize_ratio(ratio)
+        cached = self.cache.get(obj.name, q)
+        if cached is not None:
+            return FetchResult(mesh=cached, from_cache=True, latency_ms=0.0)
+        base = obj.mesh(self.mesh_resolution)
+        mesh = base if q >= 0.999 else decimate(base, q)
+        self.cache.put(obj.name, q, mesh)
+        transfer = (
+            self.rtt_ms
+            + (q * obj.max_triangles / 1e6) * self.ms_per_million_triangles
+        )
+        return FetchResult(mesh=mesh, from_cache=False, latency_ms=transfer)
+
+    def train_parameters(self, obj: VirtualObject, seed: int = 0) -> DegradationParams:
+        """The offline per-object Eq. 1 training the paper's server runs."""
+        mesh = obj.mesh(self.mesh_resolution)
+        samples = synthesize_training_samples(mesh, seed=seed)
+        return fit_degradation_params(samples)

@@ -1,0 +1,98 @@
+"""Wavefront OBJ import/export for triangle meshes.
+
+A practical AR pipeline feeds real assets in; OBJ is the lowest common
+denominator every DCC tool speaks. Only the subset a triangle mesh needs
+is implemented: ``v`` lines (positions) and ``f`` lines (triangles, with
+quad faces fanned into triangles; texture/normal indices after ``/`` are
+ignored). Round-tripping through :func:`save_obj`/:func:`load_obj`
+preserves geometry bit-exactly at the printed precision.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from repro.ar.mesh import TriangleMesh
+from repro.errors import MeshError
+
+PathLike = Union[str, Path]
+
+
+def save_obj(mesh: TriangleMesh, path: PathLike, precision: int = 8) -> None:
+    """Write ``mesh`` as a Wavefront OBJ file."""
+    if precision < 1:
+        raise MeshError(f"precision must be >= 1, got {precision}")
+    lines: List[str] = ["# exported by repro (HBO reproduction)"]
+    fmt = f"v {{:.{precision}g}} {{:.{precision}g}} {{:.{precision}g}}"
+    for vertex in mesh.vertices:
+        lines.append(fmt.format(*vertex))
+    for face in mesh.faces:
+        # OBJ indices are 1-based.
+        lines.append(f"f {face[0] + 1} {face[1] + 1} {face[2] + 1}")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_obj(path: PathLike) -> TriangleMesh:
+    """Read a Wavefront OBJ file into a :class:`TriangleMesh`.
+
+    Supports: ``v`` (positions; extra components such as vertex colors are
+    ignored), ``f`` with 3+ indices (polygons are fan-triangulated),
+    ``v/vt``, ``v//vn`` and ``v/vt/vn`` index forms, negative (relative)
+    indices, comments and blank lines. Anything else (``vt``, ``vn``,
+    ``o``, ``g``, ``usemtl``, ...) is skipped.
+    """
+    vertices: List[List[float]] = []
+    faces: List[List[int]] = []
+    text = Path(path).read_text()
+
+    def parse_index(token: str, n_vertices: int) -> int:
+        raw = token.split("/", 1)[0]
+        if not raw:
+            raise MeshError(f"empty vertex index in face token {token!r}")
+        index = int(raw)
+        if index < 0:
+            index = n_vertices + index  # relative indexing
+        else:
+            index -= 1  # 1-based to 0-based
+        if not 0 <= index < n_vertices:
+            raise MeshError(
+                f"face references vertex {token!r} out of range "
+                f"(have {n_vertices} vertices)"
+            )
+        return index
+
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        parts = stripped.split()
+        tag = parts[0]
+        if tag == "v":
+            if len(parts) < 4:
+                raise MeshError(f"line {line_number}: malformed vertex {line!r}")
+            try:
+                vertices.append([float(parts[1]), float(parts[2]), float(parts[3])])
+            except ValueError as exc:
+                raise MeshError(
+                    f"line {line_number}: bad vertex coordinate in {line!r}"
+                ) from exc
+        elif tag == "f":
+            if len(parts) < 4:
+                raise MeshError(f"line {line_number}: face needs >= 3 vertices")
+            indices = [parse_index(token, len(vertices)) for token in parts[1:]]
+            # Fan-triangulate polygons.
+            for i in range(1, len(indices) - 1):
+                faces.append([indices[0], indices[i], indices[i + 1]])
+        # every other tag is ignored
+
+    if not vertices:
+        raise MeshError(f"{path}: no vertices found")
+    if not faces:
+        raise MeshError(f"{path}: no faces found")
+    return TriangleMesh(
+        vertices=np.asarray(vertices, dtype=float),
+        faces=np.asarray(faces, dtype=np.int64),
+    )

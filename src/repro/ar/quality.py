@@ -1,0 +1,61 @@
+"""Average on-screen virtual-object quality (the paper's Eq. 2).
+
+    Q_t = (1 / L_t) Σ_i (1 - D_error(t, i))
+
+where the sum runs over the L_t objects currently on screen. Quality is
+the AR-side half of HBO's cost function.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.ar.degradation import DegradationModel
+from repro.errors import ConfigurationError
+
+
+def object_quality(model: DegradationModel, ratio: float, distance: float) -> float:
+    """Quality of one object: ``1 - D_error`` (Eq. 1 complement)."""
+    return model.quality(ratio, distance)
+
+
+def average_quality(
+    models: Sequence[DegradationModel],
+    ratios: Sequence[float],
+    distances: Sequence[float],
+) -> float:
+    """Eq. 2 over parallel sequences of per-object models/ratios/distances.
+
+    Returns 1.0 for an empty scene — with no virtual objects there is
+    nothing to degrade, which keeps the reward B_t well-defined before the
+    first placement.
+    """
+    if not (len(models) == len(ratios) == len(distances)):
+        raise ConfigurationError(
+            f"parallel length mismatch: {len(models)} models, "
+            f"{len(ratios)} ratios, {len(distances)} distances"
+        )
+    if not models:
+        return 1.0
+    total = 0.0
+    for model, ratio, distance in zip(models, ratios, distances):
+        total += model.quality(ratio, distance)
+    return total / len(models)
+
+
+def average_quality_from_map(
+    models: Mapping[str, DegradationModel],
+    ratios: Mapping[str, float],
+    distances: Mapping[str, float],
+) -> float:
+    """Eq. 2 keyed by object id instead of positional sequences."""
+    if set(models) != set(ratios) or set(models) != set(distances):
+        raise ConfigurationError(
+            "object-id key sets differ between models/ratios/distances"
+        )
+    keys = sorted(models)
+    return average_quality(
+        [models[k] for k in keys],
+        [ratios[k] for k in keys],
+        [distances[k] for k in keys],
+    )

@@ -1,0 +1,169 @@
+"""The augmented scene: placed object instances and the user's position.
+
+A :class:`Scene` tracks, per object instance, the asset, its world
+position, and the decimation ratio it is currently *drawn* at. It exposes
+the quantities the rest of the system consumes: per-object user distance,
+the total maximum triangle count T^max, the currently drawn triangle
+count, and the Eq. 2 average quality of what's on screen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ar.objects import VirtualObject
+from repro.ar.quality import average_quality
+from repro.errors import SceneError
+
+#: Objects closer than this are clamped — the quality model diverges at
+#: D → 0 and real AR frameworks keep virtual objects out of the near plane.
+MIN_DISTANCE_M = 0.3
+
+
+@dataclass(frozen=True)
+class PlacedObject:
+    """One object instance in the scene."""
+
+    instance_id: str
+    obj: VirtualObject
+    position: np.ndarray  # (3,) world coordinates, meters
+    ratio: float = 1.0  # decimation ratio currently drawn
+
+    def __post_init__(self) -> None:
+        pos = np.asarray(self.position, dtype=float).ravel()
+        if pos.shape != (3,):
+            raise SceneError(
+                f"{self.instance_id!r}: position must be a 3-vector, got {pos.shape}"
+            )
+        if not np.all(np.isfinite(pos)):
+            raise SceneError(f"{self.instance_id!r}: non-finite position")
+        if not 0.0 < self.ratio <= 1.0:
+            raise SceneError(
+                f"{self.instance_id!r}: ratio must be in (0, 1], got {self.ratio}"
+            )
+        object.__setattr__(self, "position", pos)
+
+    @property
+    def drawn_triangles(self) -> float:
+        return self.ratio * self.obj.max_triangles
+
+
+class Scene:
+    """Mutable scene state: placed objects + user position."""
+
+    def __init__(self, user_position: Sequence[float] = (0.0, 0.0, 0.0)) -> None:
+        self._objects: Dict[str, PlacedObject] = {}
+        self._user = np.asarray(user_position, dtype=float).ravel()
+        if self._user.shape != (3,):
+            raise SceneError(f"user position must be a 3-vector, got {self._user.shape}")
+
+    # -------------------------------------------------------------- objects
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __contains__(self, instance_id: str) -> bool:
+        return instance_id in self._objects
+
+    def __iter__(self) -> Iterator[PlacedObject]:
+        return iter(self._objects.values())
+
+    @property
+    def instance_ids(self) -> Tuple[str, ...]:
+        return tuple(self._objects)
+
+    def get(self, instance_id: str) -> PlacedObject:
+        if instance_id not in self._objects:
+            raise SceneError(f"no object instance {instance_id!r} in scene")
+        return self._objects[instance_id]
+
+    def add(
+        self,
+        instance_id: str,
+        obj: VirtualObject,
+        position: Sequence[float],
+        ratio: float = 1.0,
+    ) -> None:
+        if instance_id in self._objects:
+            raise SceneError(f"instance id {instance_id!r} already placed")
+        self._objects[instance_id] = PlacedObject(
+            instance_id=instance_id,
+            obj=obj,
+            position=np.asarray(position, dtype=float),
+            ratio=ratio,
+        )
+
+    def remove(self, instance_id: str) -> None:
+        if instance_id not in self._objects:
+            raise SceneError(f"no object instance {instance_id!r} in scene")
+        del self._objects[instance_id]
+
+    # ----------------------------------------------------------------- user
+
+    @property
+    def user_position(self) -> np.ndarray:
+        return self._user.copy()
+
+    def move_user(self, position: Sequence[float]) -> None:
+        pos = np.asarray(position, dtype=float).ravel()
+        if pos.shape != (3,) or not np.all(np.isfinite(pos)):
+            raise SceneError(f"invalid user position {position!r}")
+        self._user = pos
+
+    def distance(self, instance_id: str) -> float:
+        """User-object distance D_{t,i}, clamped to MIN_DISTANCE_M."""
+        placed = self.get(instance_id)
+        return max(MIN_DISTANCE_M, float(np.linalg.norm(placed.position - self._user)))
+
+    def distances(self) -> Dict[str, float]:
+        return {iid: self.distance(iid) for iid in self._objects}
+
+    # ---------------------------------------------------------------- ratios
+
+    def set_ratio(self, instance_id: str, ratio: float) -> None:
+        placed = self.get(instance_id)
+        self._objects[instance_id] = replace(placed, ratio=ratio)
+
+    def apply_ratios(self, ratios: Mapping[str, float]) -> None:
+        unknown = set(ratios) - set(self._objects)
+        if unknown:
+            raise SceneError(f"unknown instance ids in ratio map: {sorted(unknown)}")
+        for instance_id, ratio in ratios.items():
+            self.set_ratio(instance_id, ratio)
+
+    def ratios(self) -> Dict[str, float]:
+        return {iid: p.ratio for iid, p in self._objects.items()}
+
+    # ------------------------------------------------------------ aggregates
+
+    @property
+    def total_max_triangles(self) -> float:
+        """T^max: full-quality triangle count across placed objects."""
+        return float(sum(p.obj.max_triangles for p in self._objects.values()))
+
+    @property
+    def drawn_triangles(self) -> float:
+        """Triangles currently submitted for rendering (before culling)."""
+        return float(sum(p.drawn_triangles for p in self._objects.values()))
+
+    @property
+    def triangle_ratio(self) -> float:
+        """Current overall ratio x = drawn / T^max (1.0 for empty scenes)."""
+        total = self.total_max_triangles
+        return self.drawn_triangles / total if total > 0 else 1.0
+
+    def average_quality(self) -> float:
+        """Eq. 2 over the on-screen objects at their drawn ratios."""
+        placed = list(self._objects.values())
+        return average_quality(
+            [p.obj.degradation for p in placed],
+            [p.ratio for p in placed],
+            [self.distance(p.instance_id) for p in placed],
+        )
+
+    def snapshot(self) -> List[PlacedObject]:
+        """Immutable copy of the current placement list."""
+        return list(self._objects.values())

@@ -1,0 +1,31 @@
+"""The paper's four comparison baselines (§V-A).
+
+- :mod:`repro.baselines.smq` — Static Match Quality: affinity-static
+  allocation, HBO's triangle ratio.
+- :mod:`repro.baselines.sml` — Static Match Latency: affinity-static
+  allocation, triangles reduced until latency matches HBO's.
+- :mod:`repro.baselines.bnt` — Bayesian No Triangle: HBO's allocation
+  machinery, latency-only cost, full-quality objects.
+- :mod:`repro.baselines.alln` — All NNAPI: Android's NNAPI delegate for
+  every task, full-quality objects.
+- :mod:`repro.baselines.greedy_dynamic` — an extra baseline beyond the
+  paper: measurement-driven greedy relocation at full quality (how
+  reactive schedulers behave).
+"""
+
+from repro.baselines.alln import AllNNAPIBaseline
+from repro.baselines.base import Baseline, BaselineOutcome
+from repro.baselines.bnt import BayesianNoTriangleBaseline
+from repro.baselines.greedy_dynamic import GreedyDynamicBaseline
+from repro.baselines.sml import StaticMatchLatencyBaseline
+from repro.baselines.smq import StaticMatchQualityBaseline
+
+__all__ = [
+    "AllNNAPIBaseline",
+    "Baseline",
+    "BaselineOutcome",
+    "BayesianNoTriangleBaseline",
+    "GreedyDynamicBaseline",
+    "StaticMatchLatencyBaseline",
+    "StaticMatchQualityBaseline",
+]

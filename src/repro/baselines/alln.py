@@ -1,0 +1,39 @@
+"""All NNAPI (AllN), §V-A.
+
+The state-of-the-art Android path: hand every AI task to the NNAPI
+delegate, which splits each model's operations across CPU/GPU/NPU itself,
+and render virtual objects at full quality. Tasks whose model has no
+NNAPI path (Table I "NA") fall back to their best supported resource —
+that is what the Android runtime does when a delegate rejects a graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.baselines.base import Baseline, BaselineOutcome
+from repro.core.system import MARSystem
+from repro.device.resources import Resource
+
+
+class AllNNAPIBaseline(Baseline):
+    """Every task on the NNAPI delegate, objects at full quality."""
+
+    name = "AllN"
+
+    def run(self, system: MARSystem) -> BaselineOutcome:
+        allocation: Dict[str, Resource] = {}
+        for task in system.taskset:
+            if task.profile.supports(Resource.NNAPI):
+                allocation[task.task_id] = Resource.NNAPI
+            else:
+                allocation[task.task_id] = task.affinity
+        # AllN does not manipulate quality: uniform full ratio, no TD.
+        system.apply_uniform_ratio(allocation, 1.0)
+        measurement = system.measure()
+        return BaselineOutcome(
+            name=self.name,
+            allocation=allocation,
+            triangle_ratio=1.0,
+            measurement=measurement,
+        )

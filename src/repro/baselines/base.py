@@ -1,0 +1,49 @@
+"""Common baseline interface.
+
+Every baseline is a policy that, given a running
+:class:`~repro.core.system.MARSystem`, settles on a configuration
+(per-task allocation + triangle ratio) and reports the measured
+performance as a :class:`BaselineOutcome` — the same tuple HBO's best
+iteration yields, so the Fig. 5 comparison treats everything uniformly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.system import MARSystem, Measurement
+from repro.device.resources import Resource
+
+
+@dataclass(frozen=True)
+class BaselineOutcome:
+    """A baseline's settled configuration and its measured performance."""
+
+    name: str
+    allocation: Mapping[str, Resource]
+    triangle_ratio: float
+    measurement: Measurement
+
+    @property
+    def epsilon(self) -> float:
+        return self.measurement.epsilon
+
+    @property
+    def quality(self) -> float:
+        return self.measurement.quality
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return self.measurement.mean_latency_ms
+
+
+class Baseline(ABC):
+    """A comparison policy."""
+
+    name: str = "baseline"
+
+    @abstractmethod
+    def run(self, system: MARSystem) -> BaselineOutcome:
+        """Configure ``system`` and measure the settled performance."""

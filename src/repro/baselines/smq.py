@@ -1,0 +1,38 @@
+"""Static Match Quality (SMQ), §V-A.
+
+Uses the same triangle-count distribution as HBO (the TD heuristic at
+HBO's chosen total ratio) so the average quality matches, but allocates
+each AI task statically to the resource with the lowest *isolation*
+latency (Table I affinity). Quantifies what HBO's dynamic allocation buys
+on the latency side.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import Baseline, BaselineOutcome
+from repro.core.system import MARSystem
+from repro.errors import ConfigurationError
+
+
+class StaticMatchQualityBaseline(Baseline):
+    """Affinity-static allocation at HBO's triangle ratio."""
+
+    name = "SMQ"
+
+    def __init__(self, match_triangle_ratio: float) -> None:
+        if not 0.0 < match_triangle_ratio <= 1.0:
+            raise ConfigurationError(
+                f"match_triangle_ratio must be in (0, 1], got {match_triangle_ratio}"
+            )
+        self.match_triangle_ratio = float(match_triangle_ratio)
+
+    def run(self, system: MARSystem) -> BaselineOutcome:
+        allocation = system.taskset.affinity_allocation()
+        system.apply(allocation, self.match_triangle_ratio)
+        measurement = system.measure()
+        return BaselineOutcome(
+            name=self.name,
+            allocation=allocation,
+            triangle_ratio=self.match_triangle_ratio,
+            measurement=measurement,
+        )

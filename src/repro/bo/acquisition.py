@@ -1,0 +1,121 @@
+"""Acquisition functions for minimization-flavoured Bayesian optimization.
+
+The paper selects Expected Improvement (EI) after comparing it against
+Probability of Improvement ("too conservative during exploration") and
+Lower Confidence Bound ("requires tuning a dedicated exploration/
+exploitation parameter") — §IV-C. All three are implemented so the
+ablation bench can reproduce that comparison.
+
+Conventions: the surrogate models a *cost* φ to be **minimized**; each
+acquisition returns a score to be **maximized** over candidates.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+from scipy.stats import norm
+
+from repro.bo.gp import GaussianProcess
+from repro.errors import ConfigurationError
+
+
+class AcquisitionFunction(ABC):
+    """Scores candidate points given a fitted GP surrogate."""
+
+    name: str = "base"
+
+    @abstractmethod
+    def __call__(
+        self, gp: GaussianProcess, x: np.ndarray, best_y: float
+    ) -> np.ndarray:
+        """Score each row of ``x``; larger is better.
+
+        ``best_y`` is the incumbent (lowest observed cost so far).
+        """
+
+
+class ExpectedImprovement(AcquisitionFunction):
+    """EI(z) = E[max(0, best_y - φ(z))], with an exploration margin ξ.
+
+    The closed form under a Gaussian posterior N(μ, σ²):
+
+        EI = (best - μ - ξ) Φ(u) + σ ϕ(u),   u = (best - μ - ξ) / σ
+    """
+
+    name = "ei"
+
+    def __init__(self, xi: float = 0.01) -> None:
+        if xi < 0:
+            raise ConfigurationError(f"xi must be >= 0, got {xi}")
+        self.xi = float(xi)
+
+    def __call__(
+        self, gp: GaussianProcess, x: np.ndarray, best_y: float
+    ) -> np.ndarray:
+        post = gp.predict(x)
+        improvement = best_y - post.mean - self.xi
+        with np.errstate(divide="ignore", invalid="ignore"):
+            u = improvement / post.std
+            ei = improvement * norm.cdf(u) + post.std * norm.pdf(u)
+        ei = np.where(post.std > 1e-12, ei, np.maximum(improvement, 0.0))
+        return np.clip(ei, 0.0, None)
+
+
+class ProbabilityOfImprovement(AcquisitionFunction):
+    """PI(z) = P[φ(z) < best_y - ξ]; exploitation-heavy baseline."""
+
+    name = "pi"
+
+    def __init__(self, xi: float = 0.01) -> None:
+        if xi < 0:
+            raise ConfigurationError(f"xi must be >= 0, got {xi}")
+        self.xi = float(xi)
+
+    def __call__(
+        self, gp: GaussianProcess, x: np.ndarray, best_y: float
+    ) -> np.ndarray:
+        post = gp.predict(x)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            u = (best_y - post.mean - self.xi) / post.std
+        pi = norm.cdf(u)
+        return np.where(post.std > 1e-12, pi, (post.mean < best_y - self.xi) * 1.0)
+
+
+class LowerConfidenceBound(AcquisitionFunction):
+    """LCB(z) = -(μ - κ σ); minimizing the optimistic bound of the cost.
+
+    κ is the exploration/exploitation knob the paper calls out as a tuning
+    burden.
+    """
+
+    name = "lcb"
+
+    def __init__(self, kappa: float = 2.0) -> None:
+        if kappa < 0:
+            raise ConfigurationError(f"kappa must be >= 0, got {kappa}")
+        self.kappa = float(kappa)
+
+    def __call__(
+        self, gp: GaussianProcess, x: np.ndarray, best_y: float
+    ) -> np.ndarray:
+        post = gp.predict(x)
+        return -(post.mean - self.kappa * post.std)
+
+
+def make_acquisition(
+    name: str, xi: float = 0.01, kappa: float = 2.0
+) -> AcquisitionFunction:
+    """Construct an acquisition function by name: ``ei | pi | lcb``."""
+    key = name.lower()
+    if key == "ei":
+        return ExpectedImprovement(xi=xi)
+    if key == "pi":
+        return ProbabilityOfImprovement(xi=xi)
+    if key == "lcb":
+        return LowerConfidenceBound(kappa=kappa)
+    raise ConfigurationError(
+        f"unknown acquisition {name!r}; expected 'ei', 'pi', or 'lcb'"
+    )

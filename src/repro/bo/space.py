@@ -1,0 +1,212 @@
+"""Constrained search spaces for the HBO optimizer.
+
+The paper's optimization variables (§IV-C, Constraints 8–10) are:
+
+- ``c = [c_1, ..., c_N]`` — the proportion of AI tasks allocated to each of
+  the N resources. Each ``c_i ∈ [0, 1]`` and ``Σ c_i = 1``: a point on the
+  (N-1)-dimensional probability simplex.
+- ``x`` — the total triangle-count ratio, bounded in ``[R_min, 1]``.
+
+BO operates over the joint vector ``z = [c; x]``. These spaces know how to
+sample uniformly, validate membership, project arbitrary vectors back onto
+the feasible set, and generate local perturbations (used by the acquisition
+maximizer to refine around incumbents).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SearchSpaceError
+from repro.rng import SeedLike, make_rng
+
+_TOL = 1e-8
+
+
+class SimplexSpace:
+    """The probability simplex {c ∈ [0,1]^n : Σ c_i = 1}."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise SearchSpaceError(f"simplex needs at least 1 coordinate, got {n}")
+        self.n = int(n)
+
+    @property
+    def dim(self) -> int:
+        return self.n
+
+    def sample(self, rng: SeedLike, size: int = 1) -> np.ndarray:
+        """Uniform samples on the simplex (flat Dirichlet), shape (size, n)."""
+        gen = make_rng(rng)
+        if size < 1:
+            raise SearchSpaceError(f"size must be >= 1, got {size}")
+        return gen.dirichlet(np.ones(self.n), size=size)
+
+    def contains(self, c: np.ndarray, tol: float = _TOL) -> bool:
+        c = np.asarray(c, dtype=float).ravel()
+        if c.shape[0] != self.n:
+            return False
+        return bool(
+            np.all(c >= -tol)
+            and np.all(c <= 1.0 + tol)
+            and abs(float(np.sum(c)) - 1.0) <= max(tol, 1e-6)
+        )
+
+    def project(self, c: np.ndarray) -> np.ndarray:
+        """Euclidean projection of ``c`` onto the simplex.
+
+        Uses the sorting algorithm of Held, Wolfe & Crowder; O(n log n).
+        Always returns a valid simplex point, even for wildly infeasible
+        input.
+        """
+        v = np.asarray(c, dtype=float).ravel()
+        if v.shape[0] != self.n:
+            raise SearchSpaceError(
+                f"expected {self.n} coordinates, got {v.shape[0]}"
+            )
+        if not np.all(np.isfinite(v)):
+            raise SearchSpaceError("cannot project non-finite vector")
+        u = np.sort(v)[::-1]
+        css = np.cumsum(u)
+        rho_candidates = u + (1.0 - css) / np.arange(1, self.n + 1)
+        rho = int(np.nonzero(rho_candidates > 0)[0][-1])
+        theta = (css[rho] - 1.0) / (rho + 1)
+        return np.clip(v - theta, 0.0, None)
+
+    def perturb(
+        self, c: np.ndarray, scale: float, rng: SeedLike
+    ) -> np.ndarray:
+        """Gaussian jitter followed by projection back onto the simplex."""
+        gen = make_rng(rng)
+        noisy = np.asarray(c, dtype=float).ravel() + gen.normal(0.0, scale, self.n)
+        return self.project(noisy)
+
+
+class BoxSpace:
+    """An axis-aligned box ``[low_i, high_i]`` per coordinate."""
+
+    def __init__(self, bounds: Sequence[Tuple[float, float]]) -> None:
+        arr = np.asarray(bounds, dtype=float)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise SearchSpaceError(
+                f"bounds must be a sequence of (low, high) pairs, got shape {arr.shape}"
+            )
+        if np.any(arr[:, 0] > arr[:, 1]):
+            bad = arr[arr[:, 0] > arr[:, 1]]
+            raise SearchSpaceError(f"low > high in bounds: {bad.tolist()}")
+        self.low = arr[:, 0].copy()
+        self.high = arr[:, 1].copy()
+
+    @property
+    def dim(self) -> int:
+        return int(self.low.shape[0])
+
+    def sample(self, rng: SeedLike, size: int = 1) -> np.ndarray:
+        gen = make_rng(rng)
+        if size < 1:
+            raise SearchSpaceError(f"size must be >= 1, got {size}")
+        return gen.uniform(self.low, self.high, size=(size, self.dim))
+
+    def contains(self, x: np.ndarray, tol: float = _TOL) -> bool:
+        x = np.asarray(x, dtype=float).ravel()
+        if x.shape[0] != self.dim:
+            return False
+        return bool(np.all(x >= self.low - tol) and np.all(x <= self.high + tol))
+
+    def project(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float).ravel()
+        if x.shape[0] != self.dim:
+            raise SearchSpaceError(f"expected {self.dim} coordinates, got {x.shape[0]}")
+        if not np.all(np.isfinite(x)):
+            raise SearchSpaceError("cannot project non-finite vector")
+        return np.clip(x, self.low, self.high)
+
+    def perturb(self, x: np.ndarray, scale: float, rng: SeedLike) -> np.ndarray:
+        gen = make_rng(rng)
+        span = self.high - self.low
+        noisy = np.asarray(x, dtype=float).ravel() + gen.normal(0.0, scale * span)
+        return self.project(noisy)
+
+
+@dataclass(frozen=True)
+class HBOPoint:
+    """A decoded point of the HBO search space."""
+
+    proportions: np.ndarray  # c, on the simplex
+    triangle_ratio: float  # x, in [r_min, 1]
+
+    def as_vector(self) -> np.ndarray:
+        return np.concatenate([self.proportions, [self.triangle_ratio]])
+
+
+class HBOSpace:
+    """Joint space ``z = [c (simplex over N resources); x (triangle ratio)]``.
+
+    Implements Constraints 8–10 of the paper: 0 ≤ c_i ≤ 1, Σ c_i = 1 and
+    R_min ≤ x ≤ 1.
+    """
+
+    def __init__(self, n_resources: int, r_min: float = 0.1) -> None:
+        if not 0.0 <= r_min < 1.0:
+            raise SearchSpaceError(f"r_min must be in [0, 1), got {r_min}")
+        self.simplex = SimplexSpace(n_resources)
+        self.box = BoxSpace([(r_min, 1.0)])
+        self.r_min = float(r_min)
+
+    @property
+    def n_resources(self) -> int:
+        return self.simplex.n
+
+    @property
+    def dim(self) -> int:
+        return self.simplex.dim + self.box.dim
+
+    def split(self, z: np.ndarray) -> HBOPoint:
+        """Decode a joint vector into (proportions, triangle_ratio)."""
+        z = np.asarray(z, dtype=float).ravel()
+        if z.shape[0] != self.dim:
+            raise SearchSpaceError(f"expected {self.dim} coordinates, got {z.shape[0]}")
+        return HBOPoint(
+            proportions=z[: self.simplex.n].copy(),
+            triangle_ratio=float(z[self.simplex.n]),
+        )
+
+    def join(self, proportions: np.ndarray, triangle_ratio: float) -> np.ndarray:
+        c = np.asarray(proportions, dtype=float).ravel()
+        if c.shape[0] != self.simplex.n:
+            raise SearchSpaceError(
+                f"expected {self.simplex.n} proportions, got {c.shape[0]}"
+            )
+        return np.concatenate([c, [float(triangle_ratio)]])
+
+    def sample(self, rng: SeedLike, size: int = 1) -> np.ndarray:
+        gen = make_rng(rng)
+        c = self.simplex.sample(gen, size)
+        x = self.box.sample(gen, size)
+        return np.hstack([c, x])
+
+    def contains(self, z: np.ndarray, tol: float = _TOL) -> bool:
+        z = np.asarray(z, dtype=float).ravel()
+        if z.shape[0] != self.dim:
+            return False
+        return self.simplex.contains(z[: self.simplex.n], tol) and self.box.contains(
+            z[self.simplex.n :], tol
+        )
+
+    def project(self, z: np.ndarray) -> np.ndarray:
+        z = np.asarray(z, dtype=float).ravel()
+        if z.shape[0] != self.dim:
+            raise SearchSpaceError(f"expected {self.dim} coordinates, got {z.shape[0]}")
+        c = self.simplex.project(z[: self.simplex.n])
+        x = self.box.project(z[self.simplex.n :])
+        return np.concatenate([c, x])
+
+    def perturb(self, z: np.ndarray, scale: float, rng: SeedLike) -> np.ndarray:
+        gen = make_rng(rng)
+        pt = self.split(z)
+        c = self.simplex.perturb(pt.proportions, scale, gen)
+        x = self.box.perturb(np.array([pt.triangle_ratio]), scale, gen)
+        return np.concatenate([c, x])

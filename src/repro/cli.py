@@ -1,0 +1,164 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiment <name>``
+    Regenerate one paper artifact (table1, fig2, fig4, fig5, fig6, fig7,
+    fig8, fig9, wsweep, devices) and print it.
+``tune``
+    Run one HBO activation on a scenario and print the configuration it
+    settles on; optionally export the run as JSON.
+``list``
+    Show the available scenarios, tasksets, devices and experiments.
+``profiles``
+    Print the Table I isolation profiles for a device.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.controller import HBOConfig, HBOController
+from repro.device.profiles import GALAXY_S22, PIXEL7, device_names, model_names
+from repro.errors import ReproError
+from repro.experiments import fig2, fig4, fig5, fig6, fig7, fig8, fig9, sweep, table1
+from repro.models.zoo import ModelZoo
+from repro.rng import derive_seed
+from repro.sim.scenarios import build_system
+
+_EXPERIMENTS = {
+    "table1": lambda seed, cfg: table1.render(table1.run_table1(seed=seed)),
+    "fig2": lambda seed, cfg: fig2.render(fig2.run_all(seed=seed)),
+    "fig4": lambda seed, cfg: fig4.render(fig4.run_fig4(seed=seed, config=cfg)),
+    "fig5": lambda seed, cfg: fig5.render(fig5.run_fig5(seed=seed, config=cfg)),
+    "fig6": lambda seed, cfg: fig6.render(fig6.run_fig6(seed=seed, config=cfg)),
+    "fig7": lambda seed, cfg: fig7.render(fig7.run_fig7(seed=seed, config=cfg)),
+    "fig8": lambda seed, cfg: fig8.render(fig8.run_fig8(seed=seed, config=cfg)),
+    "fig9": lambda seed, cfg: fig9.render(fig9.run_fig9(seed=seed, config=cfg)),
+    "wsweep": lambda seed, cfg: sweep.render_w_sweep(
+        sweep.run_w_sweep(seed=seed, config=cfg)
+    ),
+    "devices": lambda seed, cfg: sweep.render_device_comparison(
+        sweep.run_device_comparison(seed=seed, config=cfg)
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HBO reproduction (ICDCS 2024): experiments and tuning.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper artifact")
+    exp.add_argument("name", choices=sorted(_EXPERIMENTS))
+    exp.add_argument("--seed", type=int, default=2024)
+    exp.add_argument("--iterations", type=int, default=15,
+                     help="BO-guided iterations per activation")
+    exp.add_argument("--initial", type=int, default=5,
+                     help="random initialization points")
+
+    tune = sub.add_parser("tune", help="run one HBO activation")
+    tune.add_argument("--scenario", choices=("SC1", "SC2"), default="SC1")
+    tune.add_argument("--taskset", choices=("CF1", "CF2"), default="CF1")
+    tune.add_argument("--device", choices=(PIXEL7, GALAXY_S22), default=PIXEL7)
+    tune.add_argument("--weight", type=float, default=2.5, help="Eq. 3 weight w")
+    tune.add_argument("--seed", type=int, default=2024)
+    tune.add_argument("--iterations", type=int, default=15)
+    tune.add_argument("--initial", type=int, default=5)
+    tune.add_argument("--export", metavar="PATH", default=None,
+                      help="write the full run as JSON")
+
+    sub.add_parser("list", help="show scenarios, devices and experiments")
+
+    prof = sub.add_parser("profiles", help="print Table I for a device")
+    prof.add_argument("--device", choices=(PIXEL7, GALAXY_S22), default=PIXEL7)
+
+    return parser
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    config = HBOConfig(n_initial=args.initial, n_iterations=args.iterations)
+    print(_EXPERIMENTS[args.name](args.seed, config))
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    config = HBOConfig(
+        w=args.weight, n_initial=args.initial, n_iterations=args.iterations
+    )
+    system = build_system(
+        args.scenario,
+        args.taskset,
+        device=args.device,
+        seed=derive_seed(args.seed, args.scenario, args.taskset),
+    )
+    before = system.measure()
+    controller = HBOController(system, config, seed=args.seed)
+    result = controller.activate()
+    after = result.final_measurement
+
+    print(f"{args.scenario}-{args.taskset} on {args.device}, w={args.weight}")
+    print(f"before: eps={before.epsilon:.3f} Q={before.quality:.3f} "
+          f"B={before.reward(args.weight):+.3f}")
+    print(f"after:  eps={after.epsilon:.3f} Q={after.quality:.3f} "
+          f"B={after.reward(args.weight):+.3f}")
+    print(f"triangle ratio x = {result.best.triangle_ratio:.2f}")
+    for task_id, resource in sorted(result.best.allocation.items()):
+        print(f"  {task_id:<22s} -> {resource}")
+
+    if args.export:
+        from repro.sim.export import run_result_to_dict, save_json
+
+        save_json(run_result_to_dict(result), args.export)
+        print(f"run exported to {args.export}")
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("scenarios : SC1 (heavy objects), SC2 (light objects)")
+    print("tasksets  : CF1 (6 AI tasks), CF2 (3 AI tasks)")
+    print("devices   : " + ", ".join(device_names()))
+    print("experiments: " + ", ".join(sorted(_EXPERIMENTS)))
+    return 0
+
+
+def _cmd_profiles(args: argparse.Namespace) -> int:
+    zoo = ModelZoo(args.device)
+    print(f"Table I — {args.device}")
+    for model in model_names(args.device):
+        profile = zoo.profile(model)
+        cells = []
+        for res_name in ("gpu", "nnapi", "cpu"):
+            from repro.device.resources import resource_from_name
+
+            resource = resource_from_name(res_name)
+            cells.append(
+                f"{res_name}="
+                + (f"{profile.latency(resource):.1f}ms"
+                   if profile.supports(resource) else "NA")
+            )
+        print(f"  {model:<22s} {' '.join(cells)}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "experiment": _cmd_experiment,
+        "tune": _cmd_tune,
+        "list": _cmd_list,
+        "profiles": _cmd_profiles,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

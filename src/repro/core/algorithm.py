@@ -1,0 +1,146 @@
+"""One full HBO iteration (the paper's Algorithm 1).
+
+Each iteration: BO proposes (c, x) → the heuristic maps c to per-task
+allocations → TD distributes x·T^max across objects → the system runs one
+control period → measured (ε, Q) become the cost φ = −(Q − w·ε) → the BO
+dataset D is updated. :class:`HBOIteration` packages this as a reusable
+step so the controller, the baselines (BNT reuses it with a latency-only
+cost), and the benches all drive the same code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.bo.optimizer import BayesianOptimizer
+from repro.bo.space import HBOSpace
+from repro.core.allocation import allocate_tasks, proportions_to_counts
+from repro.core.cost import cost_from_measurement
+from repro.core.system import MARSystem, Measurement
+from repro.device.resources import Resource
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class IterationResult:
+    """Everything Algorithm 1 produced in one iteration."""
+
+    z: np.ndarray  # the BO point [c; x]
+    proportions: np.ndarray  # c
+    triangle_ratio: float  # x
+    allocation: Mapping[str, Resource]
+    object_ratios: Mapping[str, float]
+    measurement: Measurement
+    cost: float  # φ = −B
+
+
+class HBOIteration:
+    """Callable performing Algorithm 1 once per invocation.
+
+    Parameters
+    ----------
+    system:
+        The MAR system to control.
+    optimizer:
+        The BO loop over an :class:`~repro.bo.space.HBOSpace` whose
+        dimension matches ``system.n_resources + 1``.
+    w:
+        The latency/quality weight of Eq. 3.
+    latency_only:
+        When True the cost ignores quality (the BNT baseline's simplified
+        formulation); the triangle ratio is still part of the BO vector
+        but is pinned to 1 before being applied.
+    w_power:
+        Energy extension (beyond the paper, default off): with a positive
+        weight the cost also prices the system's relative power draw via
+        :func:`repro.device.power.energy_aware_cost`.
+    """
+
+    def __init__(
+        self,
+        system: MARSystem,
+        optimizer: BayesianOptimizer,
+        w: float,
+        latency_only: bool = False,
+        w_power: float = 0.0,
+    ) -> None:
+        space = optimizer.space
+        if not isinstance(space, HBOSpace):
+            raise ConfigurationError(
+                f"HBO requires an HBOSpace optimizer, got {type(space).__name__}"
+            )
+        if space.n_resources != system.n_resources:
+            raise ConfigurationError(
+                f"space has {space.n_resources} resources but the system "
+                f"has {system.n_resources}"
+            )
+        if w < 0:
+            raise ConfigurationError(f"w must be >= 0, got {w}")
+        if w_power < 0:
+            raise ConfigurationError(f"w_power must be >= 0, got {w_power}")
+        self.system = system
+        self.optimizer = optimizer
+        self.w = float(w)
+        self.latency_only = bool(latency_only)
+        self.w_power = float(w_power)
+        self._power_model = None
+        if self.w_power > 0:
+            from repro.device.power import PowerModel
+
+            self._power_model = PowerModel()
+
+    def run_once(self) -> IterationResult:
+        """Execute Algorithm 1 for one control period."""
+        space: HBOSpace = self.optimizer.space  # type: ignore[assignment]
+        z = self.optimizer.ask()  # Line 1
+        point = space.split(z)
+        triangle_ratio = 1.0 if self.latency_only else point.triangle_ratio
+
+        counts = proportions_to_counts(point.proportions, len(self.system.taskset))
+        allocation = allocate_tasks(self.system.taskset, counts)  # Lines 2–22
+        object_ratios = self.system.apply(allocation, triangle_ratio)  # Line 23
+        measurement = self.system.measure()  # Line 24
+
+        if self.latency_only:
+            phi = self.w * measurement.epsilon
+        elif self._power_model is not None:
+            from repro.device.power import energy_aware_cost
+
+            power_w = self._power_model.system_power_w(
+                self.system.device.soc,
+                self.system.device.placements(),
+                self.system.device.load,
+            )
+            phi = energy_aware_cost(
+                measurement.quality,
+                measurement.epsilon,
+                power_w,
+                w_latency=self.w,
+                w_power=self.w_power,
+            )
+        else:
+            phi = cost_from_measurement(measurement, self.w)  # Line 25
+        self.optimizer.tell(z, phi)  # Line 26
+
+        return IterationResult(
+            z=z,
+            proportions=point.proportions,
+            triangle_ratio=triangle_ratio,
+            allocation=allocation,
+            object_ratios=object_ratios,
+            measurement=measurement,
+            cost=phi,
+        )
+
+
+def run_hbo_iteration(
+    system: MARSystem,
+    optimizer: BayesianOptimizer,
+    w: float,
+    latency_only: bool = False,
+) -> IterationResult:
+    """Functional shorthand for a single Algorithm 1 pass."""
+    return HBOIteration(system, optimizer, w, latency_only=latency_only).run_once()

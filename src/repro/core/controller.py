@@ -1,0 +1,259 @@
+"""The HBO controller: per-activation optimization runs.
+
+An *activation* (triggered by the event-based policy or explicitly) runs
+Algorithm 1 for a fixed number of iterations — the paper seeds the BO
+dataset D with 5 random configurations and then executes 15 guided
+iterations "to ensure convergence" (§V-B) — and finally re-applies the
+configuration with the lowest observed cost, which stays in force until
+the next activation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
+    from repro.core.remote import NetworkLink
+
+import numpy as np
+
+from repro.bo.acquisition import AcquisitionFunction, ExpectedImprovement
+from repro.bo.kernels import Kernel, Matern
+from repro.bo.optimizer import BayesianOptimizer
+from repro.bo.space import HBOSpace
+from repro.core.algorithm import HBOIteration, IterationResult
+from repro.core.system import MARSystem, Measurement
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class HBOConfig:
+    """Hyperparameters of an HBO deployment (paper defaults)."""
+
+    w: float = 2.5  # Eq. 3 latency/quality weight (§V-B)
+    n_initial: int = 5  # random configurations seeding D (§V-B)
+    n_iterations: int = 15  # guided BO iterations per activation (§V-B)
+    r_min: float = 0.1  # Constraint 10 lower bound on x
+    kernel_length_scale: float = 1.0  # Eq. 7's l
+    noise: float = 1e-3  # GP observation-noise variance
+    latency_only: bool = False  # BNT's simplified cost
+    #: Evaluate the configuration already running as the first dataset
+    #: entry of each activation. The paper seeds D with random configs
+    #: only; including the incumbent guarantees an activation never
+    #: settles on something worse than the status quo.
+    seed_incumbent: bool = True
+    #: Energy extension (off by default, beyond the paper): price the
+    #: system's relative power draw into the BO cost with this weight —
+    #: see :func:`repro.device.power.energy_aware_cost`.
+    w_power: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.w < 0:
+            raise ConfigurationError(f"w must be >= 0, got {self.w}")
+        if self.n_initial < 1:
+            raise ConfigurationError(f"n_initial must be >= 1, got {self.n_initial}")
+        if self.n_iterations < 0:
+            raise ConfigurationError(
+                f"n_iterations must be >= 0, got {self.n_iterations}"
+            )
+        if not 0.0 <= self.r_min < 1.0:
+            raise ConfigurationError(f"r_min must be in [0, 1), got {self.r_min}")
+        if self.w_power < 0:
+            raise ConfigurationError(f"w_power must be >= 0, got {self.w_power}")
+
+    @property
+    def total_evaluations(self) -> int:
+        """Evaluated configurations per activation (random + guided)."""
+        return self.n_initial + self.n_iterations
+
+
+@dataclass
+class HBORunResult:
+    """The outcome of one activation."""
+
+    iterations: List[IterationResult] = field(default_factory=list)
+    final_measurement: Optional[Measurement] = None
+
+    @property
+    def best_index(self) -> int:
+        if not self.iterations:
+            raise ConfigurationError("activation produced no iterations")
+        costs = [it.cost for it in self.iterations]
+        return int(np.argmin(costs))
+
+    @property
+    def best(self) -> IterationResult:
+        return self.iterations[self.best_index]
+
+    def best_cost_trajectory(self) -> np.ndarray:
+        """Running minimum cost per iteration (Fig. 4c / Fig. 7 series)."""
+        return np.minimum.accumulate([it.cost for it in self.iterations])
+
+    def consecutive_distances(self) -> np.ndarray:
+        """Euclidean distance between consecutive BO points (Fig. 6a)."""
+        pts = np.asarray([it.z for it in self.iterations])
+        if pts.shape[0] < 2:
+            return np.empty(0)
+        return np.linalg.norm(np.diff(pts, axis=0), axis=1)
+
+
+class HBOController:
+    """Runs activations against a :class:`~repro.core.system.MARSystem`."""
+
+    def __init__(
+        self,
+        system: MARSystem,
+        config: Optional[HBOConfig] = None,
+        kernel: Optional[Kernel] = None,
+        acquisition: Optional[AcquisitionFunction] = None,
+        offload_link: Optional["NetworkLink"] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        self.system = system
+        self.config = config if config is not None else HBOConfig()
+        self._kernel = kernel
+        self._acquisition = acquisition
+        self._offload_link = offload_link
+        self._rng = make_rng(seed)
+        self.activations: List[HBORunResult] = []
+        #: Network accounting of the last offloaded activation (None when
+        #: BO runs on-device, the default).
+        self.last_offload_stats = None
+
+    def _count_lattice_anchors(self, space: HBOSpace) -> Optional[np.ndarray]:
+        """Candidate anchors at the centers of the heuristic's rounding
+        cells: one proportion vector per integer task-count split, crossed
+        with a coarse triangle-ratio grid. For small tasksets some count
+        cells are narrow slivers of the simplex that uniform sampling can
+        miss entirely; anchoring guarantees the acquisition scores them.
+        """
+        m = len(self.system.taskset)
+        n = space.n_resources
+        if m == 0:
+            return None
+        from itertools import product
+
+        count_vectors = [
+            counts
+            for counts in product(range(m + 1), repeat=n)
+            if sum(counts) == m
+        ]
+        if len(count_vectors) > 128:  # large tasksets: sampling covers cells
+            return None
+        x_grid = np.linspace(self.config.r_min, 1.0, 5)
+        anchors = []
+        for counts in count_vectors:
+            c = np.asarray(counts, dtype=float) / m
+            for x in x_grid:
+                anchors.append(np.concatenate([c, [x]]))
+        return np.asarray(anchors)
+
+    def _build_optimizer(self) -> BayesianOptimizer:
+        cfg = self.config
+        space = HBOSpace(self.system.n_resources, r_min=cfg.r_min)
+        return BayesianOptimizer(
+            space=space,
+            n_initial=cfg.n_initial,
+            kernel=self._kernel
+            if self._kernel is not None
+            else Matern(length_scale=cfg.kernel_length_scale, nu=2.5),
+            acquisition=self._acquisition
+            if self._acquisition is not None
+            else ExpectedImprovement(),
+            noise=cfg.noise,
+            anchors=self._count_lattice_anchors(space),
+            seed=self._rng,
+        )
+
+    def _evaluate_incumbent(self, optimizer: BayesianOptimizer) -> "IterationResult":
+        """Measure the currently-running configuration and record it in
+        the BO dataset (see ``HBOConfig.seed_incumbent``)."""
+        from repro.core.algorithm import IterationResult
+        from repro.core.cost import cost_from_measurement
+
+        cfg = self.config
+        space: HBOSpace = optimizer.space  # type: ignore[assignment]
+        allocation = self.system.device.allocation
+        m = max(1, len(allocation))
+        counts = np.zeros(self.system.n_resources)
+        from repro.device.resources import ALL_RESOURCES
+
+        for resource in allocation.values():
+            counts[ALL_RESOURCES.index(resource)] += 1
+        proportions = counts / m
+        ratio = float(
+            np.clip(self.system.scene.triangle_ratio, cfg.r_min, 1.0)
+        )
+        z = space.project(space.join(proportions, ratio))
+        measurement = self.system.measure()
+        if cfg.latency_only:
+            phi = cfg.w * measurement.epsilon
+        elif cfg.w_power > 0:
+            from repro.device.power import PowerModel, energy_aware_cost
+
+            power_w = PowerModel().system_power_w(
+                self.system.device.soc,
+                self.system.device.placements(),
+                self.system.device.load,
+            )
+            phi = energy_aware_cost(
+                measurement.quality,
+                measurement.epsilon,
+                power_w,
+                w_latency=cfg.w,
+                w_power=cfg.w_power,
+            )
+        else:
+            phi = cost_from_measurement(measurement, cfg.w)
+        optimizer.tell(z, phi)
+        return IterationResult(
+            z=z,
+            proportions=proportions,
+            triangle_ratio=ratio,
+            allocation=allocation,
+            object_ratios=self.system.scene.ratios(),
+            measurement=measurement,
+            cost=phi,
+        )
+
+    def activate(self) -> HBORunResult:
+        """One full activation: explore, then lock in the best config.
+
+        The optimizer is fresh per activation (the paper re-initializes D
+        with random configurations on each activation, §V-D).
+        """
+        cfg = self.config
+        optimizer = self._build_optimizer()
+        if self._offload_link is not None:
+            # §VI: run BO on an edge server; ask/tell cross the network.
+            from repro.core.remote import RemoteOptimizerProxy
+
+            optimizer = RemoteOptimizerProxy(
+                optimizer, link=self._offload_link, seed=self._rng
+            )
+        step = HBOIteration(
+            self.system,
+            optimizer,
+            w=cfg.w,
+            latency_only=cfg.latency_only,
+            w_power=cfg.w_power,
+        )
+        result = HBORunResult()
+        if cfg.seed_incumbent and len(self.system.scene) > 0:
+            result.iterations.append(self._evaluate_incumbent(optimizer))
+        for _ in range(cfg.total_evaluations):
+            result.iterations.append(step.run_once())
+
+        # Re-apply the lowest-cost configuration found (post-loop, §IV-D).
+        best = result.best
+        if cfg.latency_only:
+            self.system.apply_uniform_ratio(best.allocation, 1.0)
+        else:
+            self.system.apply(best.allocation, best.triangle_ratio)
+        result.final_measurement = self.system.measure()
+        self.activations.append(result)
+        if self._offload_link is not None:
+            self.last_offload_stats = optimizer.stats
+        return result

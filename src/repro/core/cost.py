@@ -1,0 +1,73 @@
+"""Reward and cost functions (the paper's Eq. 3–5).
+
+The controller maximizes, per period t,
+
+    B_t = Q_t − w · ε_t                                         (Eq. 3)
+
+where Q_t is the average virtual-object quality (Eq. 2) and ε_t the
+average *normalized* AI latency
+
+    ε_t = (1/M) Σ_m (τ_m,t − τ_m^e) / τ_m^e                      (Eq. 4)
+
+with τ_m^e the task's expected latency on its best resource in isolation
+(Table I affinity). BO minimizes the cost φ = −B_t (Eq. 5).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.system import Measurement
+
+
+def normalized_average_latency(
+    measured_ms: Mapping[str, float], expected_ms: Mapping[str, float]
+) -> float:
+    """Eq. 4: mean relative latency inflation over all AI tasks.
+
+    A value of 0 means every task runs at its isolation-best latency;
+    1.0 means tasks take on average twice their expected time. Negative
+    values are possible in principle (measurement noise below the
+    profiled value) and are kept, not clamped — the optimizer should see
+    the real signal.
+    """
+    if set(measured_ms) != set(expected_ms):
+        raise ConfigurationError(
+            "measured/expected task id sets differ: "
+            f"{sorted(set(measured_ms) ^ set(expected_ms))}"
+        )
+    if not measured_ms:
+        return 0.0
+    total = 0.0
+    for task_id, measured in measured_ms.items():
+        expected = expected_ms[task_id]
+        if expected <= 0:
+            raise ConfigurationError(
+                f"{task_id!r}: expected latency must be > 0, got {expected}"
+            )
+        if measured < 0:
+            raise ConfigurationError(
+                f"{task_id!r}: measured latency must be >= 0, got {measured}"
+            )
+        total += (measured - expected) / expected
+    return total / len(measured_ms)
+
+
+def reward(quality: float, epsilon: float, w: float) -> float:
+    """Eq. 3: B = Q − w · ε. ``w`` weighs AI latency against quality."""
+    if w < 0:
+        raise ConfigurationError(f"weight w must be >= 0, got {w}")
+    return quality - w * epsilon
+
+
+def cost(quality: float, epsilon: float, w: float) -> float:
+    """Eq. 5's objective: φ = −B. Lower is better."""
+    return -reward(quality, epsilon, w)
+
+
+def cost_from_measurement(measurement: "Measurement", w: float) -> float:
+    """φ for a completed control-period measurement."""
+    return cost(measurement.quality, measurement.epsilon, w)

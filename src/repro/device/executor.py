@@ -1,0 +1,248 @@
+"""The simulated device: a taskset running on a SoC under a render load.
+
+:class:`DeviceSimulator` is the stand-in for the paper's real phones. It
+holds the current per-task allocation and the AR load, and produces noisy
+latency measurements the way the on-device profiler would: each call to
+:meth:`sample_latencies` returns one measurement per task with lognormal
+multiplicative noise on top of the contention model's steady-state value.
+
+Optionally a :class:`~repro.device.thermal.ThermalModel` inflates
+latencies as sustained load heats the SoC (an extension beyond the paper,
+off by default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.device.contention import ContentionModel, SystemLoad, TaskPlacement
+from repro.device.profiles import StaticProfile
+from repro.device.resources import Processor, Resource
+from repro.device.soc import SoCSpec
+from repro.device.thermal import ThermalModel
+from repro.errors import DeviceError, IncompatibleDelegateError
+from repro.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    """One noisy latency measurement of one task."""
+
+    task_id: str
+    resource: Resource
+    latency_ms: float
+
+
+class DeviceSimulator:
+    """Simulates a phone running a set of AI tasks plus AR rendering.
+
+    Parameters
+    ----------
+    soc:
+        The SoC description (e.g. :func:`~repro.device.soc.pixel7_soc`).
+    noise_sigma:
+        Standard deviation of the multiplicative lognormal measurement
+        noise. Real on-device latencies jitter by a few percent.
+    thermal:
+        Optional thermal-throttling model.
+    seed:
+        Seed/generator for the noise stream.
+    """
+
+    def __init__(
+        self,
+        soc: SoCSpec,
+        noise_sigma: float = 0.04,
+        thermal: Optional[ThermalModel] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        if noise_sigma < 0:
+            raise DeviceError(f"noise_sigma must be >= 0, got {noise_sigma}")
+        self.soc = soc
+        self.contention = ContentionModel(soc)
+        self.noise_sigma = float(noise_sigma)
+        self.thermal = thermal
+        self._rng = make_rng(seed)
+        self._tasks: Dict[str, StaticProfile] = {}
+        self._allocation: Dict[str, Resource] = {}
+        self._load = SystemLoad()
+        self._failed_resources: set = set()
+        #: Fallback reassignments caused by delegate failures, in order:
+        #: (task_id, failed_resource, fallback_resource).
+        self.failure_log: List[Tuple[str, Resource, Resource]] = []
+
+    # -------------------------------------------------------------- taskset
+
+    @property
+    def task_ids(self) -> Tuple[str, ...]:
+        return tuple(self._tasks)
+
+    @property
+    def load(self) -> SystemLoad:
+        return self._load
+
+    def add_task(
+        self, task_id: str, profile: StaticProfile, resource: Optional[Resource] = None
+    ) -> None:
+        """Register a task instance; defaults to its best isolation resource."""
+        if task_id in self._tasks:
+            raise DeviceError(f"task id {task_id!r} already registered")
+        if resource is None:
+            resource, _ = profile.best_resource()
+        if not profile.supports(resource):
+            raise IncompatibleDelegateError(profile.model, str(resource))
+        self._tasks[task_id] = profile
+        self._allocation[task_id] = resource
+
+    def remove_task(self, task_id: str) -> None:
+        if task_id not in self._tasks:
+            raise DeviceError(f"unknown task id {task_id!r}")
+        del self._tasks[task_id]
+        del self._allocation[task_id]
+
+    def profile_of(self, task_id: str) -> StaticProfile:
+        if task_id not in self._tasks:
+            raise DeviceError(f"unknown task id {task_id!r}")
+        return self._tasks[task_id]
+
+    # ----------------------------------------------------------- allocation
+
+    @property
+    def allocation(self) -> Dict[str, Resource]:
+        """Current task → resource map (copy)."""
+        return dict(self._allocation)
+
+    def set_allocation(self, task_id: str, resource: Resource) -> None:
+        """Move one task to another allocation choice (live reallocation).
+
+        Assigning to a failed delegate triggers the Android-runtime
+        behavior: the task silently falls back to its best still-working
+        resource and the event is recorded in :attr:`failure_log`.
+        """
+        if task_id not in self._tasks:
+            raise DeviceError(f"unknown task id {task_id!r}")
+        profile = self._tasks[task_id]
+        if not profile.supports(resource):
+            raise IncompatibleDelegateError(profile.model, str(resource))
+        if resource in self._failed_resources:
+            fallback = self._best_available(profile)
+            self.failure_log.append((task_id, resource, fallback))
+            resource = fallback
+        self._allocation[task_id] = resource
+
+    def apply_allocation(self, allocation: Mapping[str, Resource]) -> None:
+        """Apply a full allocation map; unknown/missing ids are an error."""
+        missing = set(self._tasks) - set(allocation)
+        extra = set(allocation) - set(self._tasks)
+        if missing or extra:
+            raise DeviceError(
+                f"allocation map mismatch: missing={sorted(missing)}, "
+                f"unknown={sorted(extra)}"
+            )
+        for task_id, resource in allocation.items():
+            self.set_allocation(task_id, resource)
+
+    def set_load(self, load: SystemLoad) -> None:
+        """Update the AR-side load (triangles drawn, object count)."""
+        self._load = load
+
+    # ------------------------------------------------------ failure injection
+
+    @property
+    def failed_resources(self) -> Tuple[Resource, ...]:
+        return tuple(self._failed_resources)
+
+    def _best_available(self, profile: StaticProfile) -> Resource:
+        """Fastest compatible resource that has not failed."""
+        options = [
+            (profile.latency(res), i, res)
+            for i, res in enumerate(Resource)
+            if profile.supports(res) and res not in self._failed_resources
+        ]
+        if not options:
+            raise DeviceError(
+                f"model {profile.model!r} has no working resource left "
+                f"(failed: {sorted(str(r) for r in self._failed_resources)})"
+            )
+        return min(options)[2]
+
+    def fail_resource(self, resource: Resource) -> None:
+        """Inject a runtime delegate failure (driver crash, delegate
+        rejecting graphs mid-session). Tasks currently on the failed
+        delegate immediately fall back to their best working resource,
+        mirroring what the Android runtime does; each fallback is
+        recorded in :attr:`failure_log`."""
+        self._failed_resources.add(resource)
+        for task_id, current in list(self._allocation.items()):
+            if current is resource:
+                fallback = self._best_available(self._tasks[task_id])
+                self.failure_log.append((task_id, resource, fallback))
+                self._allocation[task_id] = fallback
+
+    def restore_resource(self, resource: Resource) -> None:
+        """Clear an injected failure (tasks stay where they fell back to)."""
+        self._failed_resources.discard(resource)
+
+    # ----------------------------------------------------------- measurement
+
+    def placements(self) -> List[TaskPlacement]:
+        return [
+            TaskPlacement(task_id=tid, profile=self._tasks[tid], resource=res)
+            for tid, res in self._allocation.items()
+        ]
+
+    def steady_state_latencies(self) -> Dict[str, float]:
+        """Noise-free latencies under the current placement and load."""
+        latencies = self.contention.latencies(self.placements(), self._load)
+        if self.thermal is not None:
+            factor = self.thermal.throttle_factor()
+            latencies = {tid: lat * factor for tid, lat in latencies.items()}
+        return latencies
+
+    def sample_latencies(self) -> List[LatencySample]:
+        """One noisy measurement per task (a single inference each)."""
+        steady = self.steady_state_latencies()
+        if self.thermal is not None:
+            self.thermal.step(self._busy_fraction())
+        samples = []
+        for tid, lat in steady.items():
+            noisy = lat * float(
+                np.exp(self._rng.normal(0.0, self.noise_sigma))
+            ) if self.noise_sigma > 0 else lat
+            samples.append(
+                LatencySample(
+                    task_id=tid,
+                    resource=self._allocation[tid],
+                    latency_ms=noisy,
+                )
+            )
+        return samples
+
+    def measure_period(self, n_samples: int = 20) -> Dict[str, float]:
+        """Average measured latency per task over a control period."""
+        if n_samples < 1:
+            raise DeviceError(f"n_samples must be >= 1, got {n_samples}")
+        sums = {tid: 0.0 for tid in self._tasks}
+        for _ in range(n_samples):
+            for sample in self.sample_latencies():
+                sums[sample.task_id] += sample.latency_ms
+        return {tid: total / n_samples for tid, total in sums.items()}
+
+    def isolation_latency(self, task_id: str, resource: Resource) -> float:
+        """Table I lookup for a registered task."""
+        return self.profile_of(task_id).latency(resource)
+
+    # ------------------------------------------------------------- internals
+
+    def _busy_fraction(self) -> float:
+        """Rough overall utilization in [0, 1], drives the thermal model."""
+        state = self.contention.processor_state(self.placements(), self._load)
+        ratios = []
+        for proc, streams in state.streams.items():
+            if proc is Processor.GPU:
+                streams = streams + state.render_gpu_streams
+            ratios.append(min(1.0, streams / self.soc.capacity[proc]))
+        return float(np.mean(ratios)) if ratios else 0.0

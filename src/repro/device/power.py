@@ -1,0 +1,135 @@
+"""Energy model extension (beyond the paper's metrics; eAR heritage).
+
+HBO's predecessor eAR [11] optimized energy; the paper leaves energy out
+of its cost but the substrate naturally supports it: every processor has
+an idle and a busy power draw, utilization follows from the contention
+model's demand streams, and rendering contributes its own draw. This
+module estimates average system power and per-period energy so that
+energy-aware variants (and the ablation bench) can price configurations.
+
+Powers are rough literature figures for recent flagship SoCs (sustained,
+not peak): big-core CPU cluster ~0.3 W idle / ~2.8 W busy, mobile GPU
+~0.25 W / ~3.2 W, NPU ~0.1 W / ~1.4 W, plus a display/camera floor.
+Absolute watts matter less than the *ordering* they induce between
+configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.device.contention import ContentionModel, SystemLoad, TaskPlacement
+from repro.device.resources import Processor
+from repro.device.soc import SoCSpec
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ProcessorPower:
+    """Idle/busy draw of one processor, in watts."""
+
+    idle_w: float
+    busy_w: float
+
+    def __post_init__(self) -> None:
+        if self.idle_w < 0 or self.busy_w < self.idle_w:
+            raise ConfigurationError(
+                f"need 0 <= idle ({self.idle_w}) <= busy ({self.busy_w})"
+            )
+
+    def at_utilization(self, utilization: float) -> float:
+        """Linear idle→busy interpolation at a [0, 1] utilization."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ConfigurationError(
+                f"utilization must be in [0, 1], got {utilization}"
+            )
+        return self.idle_w + (self.busy_w - self.idle_w) * utilization
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """System power as a function of processor utilizations."""
+
+    processors: Mapping[Processor, ProcessorPower] = field(
+        default_factory=lambda: {
+            Processor.CPU: ProcessorPower(idle_w=0.3, busy_w=2.8),
+            Processor.GPU: ProcessorPower(idle_w=0.25, busy_w=3.2),
+            Processor.NPU: ProcessorPower(idle_w=0.1, busy_w=1.4),
+        }
+    )
+    #: Display + camera + sensor floor of a live AR session.
+    base_w: float = 1.2
+
+    def __post_init__(self) -> None:
+        for proc in Processor:
+            if proc not in self.processors:
+                raise ConfigurationError(f"missing power spec for {proc}")
+        if self.base_w < 0:
+            raise ConfigurationError(f"base_w must be >= 0, got {self.base_w}")
+
+    def utilizations(
+        self,
+        soc: SoCSpec,
+        placements,
+        load: SystemLoad,
+    ) -> Dict[Processor, float]:
+        """Per-processor utilization in [0, 1] from the contention state.
+
+        A processor at or beyond its stream capacity is fully busy;
+        below it, utilization is the demand/capacity ratio. The GPU adds
+        its render load (both channels) to the AI demand.
+        """
+        state = ContentionModel(soc).processor_state(placements, load)
+        utilization: Dict[Processor, float] = {}
+        for proc in Processor:
+            streams = state.streams[proc]
+            if proc is Processor.GPU:
+                streams += state.render_gpu_streams
+            utilization[proc] = min(1.0, streams / soc.capacity[proc])
+        return utilization
+
+    def system_power_w(
+        self,
+        soc: SoCSpec,
+        placements,
+        load: SystemLoad,
+    ) -> float:
+        """Average system draw (W) under a placement set and render load."""
+        utilization = self.utilizations(soc, placements, load)
+        total = self.base_w
+        for proc, u in utilization.items():
+            total += self.processors[proc].at_utilization(u)
+        return total
+
+    def period_energy_j(
+        self,
+        soc: SoCSpec,
+        placements,
+        load: SystemLoad,
+        period_s: float,
+    ) -> float:
+        """Energy (J) consumed over one control period."""
+        if period_s <= 0:
+            raise ConfigurationError(f"period_s must be > 0, got {period_s}")
+        return self.system_power_w(soc, placements, load) * period_s
+
+
+def energy_aware_cost(
+    quality: float,
+    epsilon: float,
+    power_w: float,
+    w_latency: float = 2.5,
+    w_power: float = 0.05,
+    reference_power_w: float = 4.0,
+) -> float:
+    """An energy-extended Eq. 5: φ = −(Q − w·ε − w_p·(P/P_ref − 1)).
+
+    ``w_power`` prices relative power draw against quality; the default
+    keeps it a tiebreaker rather than a dominant term, matching the
+    paper's positioning of energy as future work.
+    """
+    if w_power < 0 or reference_power_w <= 0:
+        raise ConfigurationError("w_power must be >= 0 and reference_power_w > 0")
+    power_term = w_power * (power_w / reference_power_w - 1.0)
+    return -(quality - w_latency * epsilon - power_term)

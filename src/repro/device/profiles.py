@@ -1,0 +1,227 @@
+"""Static isolation-latency profiles (the paper's Table I).
+
+These are the measured response times, in milliseconds, of TensorFlow Lite
+models running **in isolation** (no other AI tasks, no virtual objects) on
+each allocation choice. ``None`` marks the paper's "NA" entries — model/
+delegate combinations that do not work (e.g. deconv-munet and deeplabv3
+have no NNAPI path on the Pixel 7, efficientdet-lite has none on either
+device).
+
+Two additions beyond Table I, both used by the paper's evaluation but not
+profiled in the table:
+
+- ``mnist`` — the digit classifier of tasksets CF1/CF2. §V-D states it
+  "has similar latencies across all resources"; we give it small,
+  near-equal latencies with a slight GPU edge so that CF1 contains three
+  GPU-preferring tasks (mnist + 2× model-metadata) and three
+  NNAPI-preferring ones, exactly as §V-B describes.
+- Per-model ``npu_coverage`` — the fraction of an NNAPI-delegated model's
+  compute that the NPU absorbs (the rest falls back to the GPU,
+  footnote 2 of the paper). Quantized classifiers map well onto the NPU
+  (high coverage); segmentation models with exotic ops map poorly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.device.resources import Resource
+from repro.errors import UnknownModelError
+
+PIXEL7 = "Google Pixel 7"
+GALAXY_S22 = "Samsung Galaxy S22"
+
+#: Task-type codes from Table I (plus DC for the mnist digit classifier).
+TASK_TYPES = {
+    "IS": "Image Segmentation",
+    "OD": "Object Detection",
+    "IC": "Image Classification",
+    "GD": "Gesture Detection",
+    "DC": "Digit Classification",
+}
+
+
+@dataclass(frozen=True)
+class StaticProfile:
+    """Isolation latencies (ms) of one model on one device.
+
+    ``cpu_demand`` / ``gpu_demand`` are *stream weights*: how many
+    equivalent inference streams one continuously-running instance of the
+    model places on the processor. Heavyweight multithreaded segmentation
+    models saturate the whole big-core cluster (> 1), tiny classifiers use
+    a fraction of it (< 1).
+    """
+
+    model: str
+    task_type: str
+    latency_ms: Mapping[Resource, Optional[float]]
+    npu_coverage: float
+    cpu_demand: float = 1.0
+    gpu_demand: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.task_type not in TASK_TYPES:
+            raise UnknownModelError(
+                f"unknown task type {self.task_type!r} for {self.model!r}"
+            )
+        if not 0.0 <= self.npu_coverage <= 1.0:
+            raise UnknownModelError(
+                f"{self.model!r}: npu_coverage must be in [0, 1], "
+                f"got {self.npu_coverage}"
+            )
+        for name in ("cpu_demand", "gpu_demand"):
+            if getattr(self, name) <= 0:
+                raise UnknownModelError(
+                    f"{self.model!r}: {name} must be > 0, got {getattr(self, name)}"
+                )
+
+    def supports(self, resource: Resource) -> bool:
+        return self.latency_ms.get(resource) is not None
+
+    def latency(self, resource: Resource) -> float:
+        value = self.latency_ms.get(resource)
+        if value is None:
+            raise UnknownModelError(
+                f"{self.model!r} has no profile on {resource} (Table I 'NA')"
+            )
+        return float(value)
+
+    def best_resource(self) -> Tuple[Resource, float]:
+        """The resource with the lowest isolation latency (the 'affinity')."""
+        options = [
+            (res, lat) for res, lat in self.latency_ms.items() if lat is not None
+        ]
+        res, lat = min(options, key=lambda pair: pair[1])
+        return res, float(lat)
+
+
+def _profile(
+    model: str,
+    task_type: str,
+    gpu: Optional[float],
+    nnapi: Optional[float],
+    cpu: Optional[float],
+    npu_coverage: float,
+    cpu_demand: float = 1.0,
+    gpu_demand: float = 1.0,
+) -> StaticProfile:
+    return StaticProfile(
+        model=model,
+        task_type=task_type,
+        latency_ms={
+            Resource.GPU_DELEGATE: gpu,
+            Resource.NNAPI: nnapi,
+            Resource.CPU: cpu,
+        },
+        npu_coverage=npu_coverage,
+        cpu_demand=cpu_demand,
+        gpu_demand=gpu_demand,
+    )
+
+
+# Table I, Galaxy S22 columns: (GPU, NNAPI, CPU).
+_S22_PROFILES = {
+    "deconv-munet": _profile(
+        "deconv-munet", "IS", 18, 33, 58, 0.45, cpu_demand=1.5, gpu_demand=1.2
+    ),
+    "deeplabv3": _profile(
+        "deeplabv3", "IS", 45, 27, 46, 0.65, cpu_demand=1.5, gpu_demand=1.3
+    ),
+    "efficientdet-lite": _profile(
+        "efficientdet-lite", "OD", 72, None, 68, 0.0, cpu_demand=1.3, gpu_demand=1.2
+    ),
+    "mobilenetDetv1": _profile(
+        "mobilenetDetv1", "OD", 38, 13, 38, 0.80, cpu_demand=1.0, gpu_demand=1.0
+    ),
+    "efficientclass-lite0": _profile(
+        "efficientclass-lite0", "IC", 28, 10, 29, 0.85, cpu_demand=0.8, gpu_demand=0.8
+    ),
+    "inception-v1-q": _profile(
+        "inception-v1-q", "IC", 28, 8, 36, 0.90, cpu_demand=0.8, gpu_demand=0.8
+    ),
+    "mobilenet-v1": _profile(
+        "mobilenet-v1", "IC", 26, 9.5, 28, 0.85, cpu_demand=0.8, gpu_demand=0.8
+    ),
+    "model-metadata": _profile(
+        "model-metadata", "GD", 12.7, 18, 14, 0.55, cpu_demand=0.7, gpu_demand=0.35
+    ),
+    "mnist": _profile(
+        "mnist", "DC", 5.6, 6.5, 6.0, 0.85, cpu_demand=0.15, gpu_demand=0.15
+    ),
+}
+
+# Table I, Google Pixel 7 columns: (GPU, NNAPI, CPU).
+_PIXEL7_PROFILES = {
+    "deconv-munet": _profile(
+        "deconv-munet", "IS", 17.9, None, 65.9, 0.0, cpu_demand=1.5, gpu_demand=1.2
+    ),
+    "deeplabv3": _profile(
+        "deeplabv3", "IS", 136.6, None, 110.1, 0.0, cpu_demand=1.5, gpu_demand=1.3
+    ),
+    "efficientdet-lite": _profile(
+        "efficientdet-lite", "OD", 109.8, None, 97.3, 0.0, cpu_demand=1.3, gpu_demand=1.2
+    ),
+    "mobilenetDetv1": _profile(
+        "mobilenetDetv1", "OD", 56.5, 18.1, 48.9, 0.80, cpu_demand=1.0, gpu_demand=1.0
+    ),
+    "efficientclass-lite0": _profile(
+        "efficientclass-lite0", "IC", 43.37, 18.3, 41.5, 0.85, cpu_demand=0.8, gpu_demand=0.8
+    ),
+    "inception-v1-q": _profile(
+        "inception-v1-q", "IC", 60.8, 8.7, 63.2, 0.90, cpu_demand=0.8, gpu_demand=0.8
+    ),
+    "mobilenet-v1": _profile(
+        "mobilenet-v1", "IC", 37.1, 10.2, 40.5, 0.85, cpu_demand=0.8, gpu_demand=0.8
+    ),
+    "model-metadata": _profile(
+        "model-metadata", "GD", 24.6, 40.7, 25.5, 0.55, cpu_demand=0.7, gpu_demand=0.35
+    ),
+    "mnist": _profile(
+        "mnist", "DC", 5.8, 6.5, 6.2, 0.85, cpu_demand=0.15, gpu_demand=0.15
+    ),
+}
+
+_DEVICE_PROFILES: Dict[str, Dict[str, StaticProfile]] = {
+    PIXEL7: _PIXEL7_PROFILES,
+    GALAXY_S22: _S22_PROFILES,
+}
+
+#: Table I's alias used in the paper text ("efficient-litev0").
+_MODEL_ALIASES = {
+    "efficient-litev0": "efficientclass-lite0",
+    "mobilenetv1": "mobilenet-v1",
+}
+
+
+def canonical_model_name(name: str) -> str:
+    """Resolve paper-text aliases to the canonical registry name."""
+    return _MODEL_ALIASES.get(name, name)
+
+
+def device_names() -> Tuple[str, ...]:
+    return tuple(_DEVICE_PROFILES)
+
+
+def model_names(device: str) -> Tuple[str, ...]:
+    if device not in _DEVICE_PROFILES:
+        raise UnknownModelError(
+            f"unknown device {device!r}; expected one of {device_names()}"
+        )
+    return tuple(_DEVICE_PROFILES[device])
+
+
+def get_profile(device: str, model: str) -> StaticProfile:
+    """Look up the Table I profile of ``model`` on ``device``."""
+    if device not in _DEVICE_PROFILES:
+        raise UnknownModelError(
+            f"unknown device {device!r}; expected one of {device_names()}"
+        )
+    name = canonical_model_name(model)
+    profiles = _DEVICE_PROFILES[device]
+    if name not in profiles:
+        raise UnknownModelError(
+            f"unknown model {model!r} on {device}; "
+            f"expected one of {sorted(profiles)}"
+        )
+    return profiles[name]

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the HBO reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class at API boundaries. Each subclass corresponds to a
+subsystem; the message always carries enough context to diagnose the failure
+without a debugger (offending value, valid range, resource name, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class SearchSpaceError(ConfigurationError):
+    """A point violates the optimizer's search-space constraints."""
+
+
+class GPFitError(ReproError):
+    """The Gaussian-process surrogate could not be fit (e.g. singular
+    covariance even after jitter escalation)."""
+
+
+class DeviceError(ReproError):
+    """A device/SoC simulation request was invalid."""
+
+
+class IncompatibleDelegateError(DeviceError):
+    """An AI model was assigned to a delegate it does not support
+    (the paper's Table I marks these combinations as "NA")."""
+
+    def __init__(self, model: str, resource: str) -> None:
+        super().__init__(
+            f"model {model!r} is not compatible with resource {resource!r}"
+        )
+        self.model = model
+        self.resource = resource
+
+
+class UnknownModelError(DeviceError):
+    """A model name was not found in the registry for the active device."""
+
+
+class AllocationError(ReproError):
+    """The heuristic allocator could not produce a feasible assignment."""
+
+
+class MeshError(ReproError):
+    """A mesh operation (decimation, generation) received invalid input."""
+
+
+class SceneError(ReproError):
+    """A scene operation (placement, distance update) was invalid."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was misconfigured or produced no data."""

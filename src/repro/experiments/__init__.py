@@ -1,0 +1,22 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Each driver exposes a ``run_*`` function returning a structured result
+plus a ``render(result) -> str`` producing the rows/series the paper
+reports. The benchmark suite under ``benchmarks/`` invokes these, and
+``python -m repro.experiments.<name>`` runs one standalone.
+
+| Paper artifact | Module |
+|---|---|
+| Table I   | :mod:`repro.experiments.table1` |
+| Fig. 2    | :mod:`repro.experiments.fig2` |
+| Fig. 4 + Table III | :mod:`repro.experiments.fig4` |
+| Fig. 5 + Table IV  | :mod:`repro.experiments.fig5` |
+| Fig. 6    | :mod:`repro.experiments.fig6` |
+| Fig. 7    | :mod:`repro.experiments.fig7` |
+| Fig. 8    | :mod:`repro.experiments.fig8` |
+| Fig. 9    | :mod:`repro.experiments.fig9` |
+"""
+
+from repro.experiments import common, report
+
+__all__ = ["common", "report"]

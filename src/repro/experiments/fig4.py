@@ -1,0 +1,114 @@
+"""Fig. 4 + Table III: HBO behavior across the four Table II scenarios.
+
+Runs one HBO activation (5 random + 15 guided iterations, w = 2.5) on
+each of SC1-CF1, SC2-CF1, SC1-CF2, SC2-CF2 and reports:
+
+- (Fig. 4a / Table III) the chosen per-task allocation,
+- (Fig. 4b / Table III) the chosen triangle-count ratio,
+- (Fig. 4c) the best-cost convergence trajectory.
+
+Expected shapes (§V-B): heavy-object scenarios (SC1) push GPU-preferring
+tasks to the CPU and reduce the triangle ratio; light-object scenarios
+(SC2) keep tasks near their preferred delegates and keep the ratio near 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.controller import HBOConfig
+from repro.device.resources import Resource
+from repro.experiments.common import DEFAULT_SEED, HBORun, run_hbo
+from repro.experiments.report import format_series, format_table
+
+SCENARIOS: Tuple[Tuple[str, str], ...] = (
+    ("SC1", "CF1"),
+    ("SC2", "CF1"),
+    ("SC1", "CF2"),
+    ("SC2", "CF2"),
+)
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    runs: Dict[str, HBORun]  # keyed "SC1-CF1" etc.
+
+    def allocation_table(self) -> List[List[str]]:
+        """Table III: task rows × scenario columns (+ triangle ratio row)."""
+        all_tasks: List[str] = []
+        for run in self.runs.values():
+            for task_id in run.best_allocation:
+                if task_id not in all_tasks:
+                    all_tasks.append(task_id)
+        rows = []
+        for task_id in sorted(all_tasks):
+            cells = [task_id]
+            for key in self.keys():
+                alloc = self.runs[key].best_allocation
+                cells.append(str(alloc[task_id]).upper() if task_id in alloc else "-")
+            rows.append(cells)
+        ratio_row = ["Triangle Count Ratio"]
+        for key in self.keys():
+            ratio_row.append(f"{self.runs[key].best_triangle_ratio:.2f}")
+        rows.append(ratio_row)
+        return rows
+
+    def keys(self) -> List[str]:
+        return [f"{sc}-{cf}" for sc, cf in SCENARIOS]
+
+    def convergence(self, key: str) -> np.ndarray:
+        return self.runs[key].result.best_cost_trajectory()
+
+
+def run_fig4(seed: int = DEFAULT_SEED, config: HBOConfig = None) -> Fig4Result:  # type: ignore[assignment]
+    cfg = config if config is not None else HBOConfig()
+    runs: Dict[str, HBORun] = {}
+    for scenario, taskset in SCENARIOS:
+        runs[f"{scenario}-{taskset}"] = run_hbo(scenario, taskset, seed=seed, config=cfg)
+    return Fig4Result(runs=runs)
+
+
+def render(result: Fig4Result) -> str:
+    blocks = []
+    blocks.append(
+        format_table(
+            ["AI Model/Scenario"] + result.keys(),
+            result.allocation_table(),
+            title="Table III — AI allocation and triangle ratio in four scenarios",
+        )
+    )
+    lines = ["Fig. 4c — best-cost convergence (lower is better)"]
+    for key in result.keys():
+        lines.append(format_series(f"  {key}", result.convergence(key)))
+    blocks.append("\n".join(lines))
+    summary = []
+    for key in result.keys():
+        run = result.runs[key]
+        counts: Dict[Resource, int] = {}
+        for res in run.best_allocation.values():
+            counts[res] = counts.get(res, 0) + 1
+        summary.append(
+            [
+                key,
+                run.best_triangle_ratio,
+                run.best_epsilon,
+                run.best_quality,
+                run.result.best.cost,
+                ", ".join(f"{r.short}:{n}" for r, n in sorted(counts.items(), key=lambda p: p[0].value)),
+            ]
+        )
+    blocks.append(
+        format_table(
+            ["Scenario", "x*", "eps*", "Q*", "best cost", "alloc counts"],
+            summary,
+            title="Fig. 4a/4b summary",
+        )
+    )
+    return "\n\n".join(blocks)
+
+
+if __name__ == "__main__":
+    print(render(run_fig4()))

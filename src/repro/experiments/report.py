@@ -1,0 +1,86 @@
+"""Plain-text rendering of experiment results.
+
+The paper's artifacts are tables and line plots; in a terminal we render
+tables with aligned columns and series as labelled rows of values with a
+unicode sparkline, which is enough to eyeball convergence shapes and
+compare against the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: Optional[str] = None
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [[_cell(c) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ExperimentError(
+                f"row {i} has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 1000 else f"{value:,.0f}"
+    if isinstance(value, (int, np.integer)):
+        return f"{value:,}"
+    return str(value)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line unicode miniature of a series."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return ""
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi - lo < 1e-12:
+        return _SPARK_CHARS[0] * arr.size
+    idx = ((arr - lo) / (hi - lo) * (len(_SPARK_CHARS) - 1)).astype(int)
+    return "".join(_SPARK_CHARS[i] for i in idx)
+
+
+def format_series(
+    label: str, values: Sequence[float], precision: int = 3, max_values: int = 24
+) -> str:
+    """Render one series: label, sparkline, and (possibly thinned) values."""
+    arr = list(values)
+    spark = sparkline(arr)
+    if len(arr) > max_values:
+        step = max(1, len(arr) // max_values)
+        shown = arr[::step]
+        suffix = f" (every {step}th of {len(arr)})"
+    else:
+        shown, suffix = arr, ""
+    nums = " ".join(f"{v:.{precision}f}" for v in shown)
+    return f"{label:<28s} {spark}  [{nums}]{suffix}"
+
+
+def format_kv(title: str, pairs: Sequence[Sequence[object]]) -> str:
+    """Render key/value pairs under a heading."""
+    width = max((len(str(k)) for k, _v in pairs), default=0)
+    lines = [title]
+    for key, value in pairs:
+        lines.append(f"  {str(key).ljust(width)} : {_cell(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,171 @@
+"""Extension experiments: the w sensitivity sweep and the device comparison.
+
+Neither is a numbered artifact in the paper, but both answer questions
+the text raises:
+
+- §V-B uses w = 2.5 "as example weight" — :func:`run_w_sweep` maps how
+  the chosen operating point (triangle ratio, quality, latency) moves
+  across w, tracing the quality/latency Pareto knob the weight controls.
+- §V-A states results were "similar" on the Galaxy S22 and shows the
+  Pixel 7 — :func:`run_device_comparison` runs the same scenario on both
+  simulated devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.controller import HBOConfig, HBOController
+from repro.device.profiles import GALAXY_S22, PIXEL7
+from repro.experiments.common import DEFAULT_SEED
+from repro.experiments.report import format_table
+from repro.rng import derive_seed
+from repro.sim.scenarios import build_system
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """HBO's chosen operating point at one weight."""
+
+    w: float
+    triangle_ratio: float
+    quality: float
+    epsilon: float
+    reward: float
+
+
+@dataclass(frozen=True)
+class WSweepResult:
+    points: List[SweepPoint]
+
+    def ratios(self) -> np.ndarray:
+        return np.asarray([p.triangle_ratio for p in self.points])
+
+    def epsilons(self) -> np.ndarray:
+        return np.asarray([p.epsilon for p in self.points])
+
+
+def run_w_sweep(
+    weights: Sequence[float] = (0.5, 1.0, 2.5, 5.0, 10.0),
+    scenario: str = "SC1",
+    taskset: str = "CF1",
+    seed: int = DEFAULT_SEED,
+    config: HBOConfig = None,  # type: ignore[assignment]
+) -> WSweepResult:
+    """One HBO activation per weight on identically-built systems."""
+    base = config if config is not None else HBOConfig()
+    points: List[SweepPoint] = []
+    for w in weights:
+        cfg = HBOConfig(
+            w=float(w),
+            n_initial=base.n_initial,
+            n_iterations=base.n_iterations,
+            r_min=base.r_min,
+        )
+        system = build_system(
+            scenario, taskset, seed=derive_seed(seed, "wsweep", scenario, taskset)
+        )
+        controller = HBOController(
+            system, cfg, seed=derive_seed(seed, "wsweep-hbo", w)
+        )
+        result = controller.activate()
+        measurement = result.final_measurement
+        points.append(
+            SweepPoint(
+                w=float(w),
+                triangle_ratio=result.best.triangle_ratio,
+                quality=measurement.quality,
+                epsilon=measurement.epsilon,
+                reward=measurement.reward(float(w)),
+            )
+        )
+    return WSweepResult(points=points)
+
+
+def render_w_sweep(result: WSweepResult) -> str:
+    rows = [
+        [p.w, p.triangle_ratio, p.quality, p.epsilon, p.reward]
+        for p in result.points
+    ]
+    return format_table(
+        ["w", "x*", "quality Q", "eps", "reward B"],
+        rows,
+        title="Weight sweep — how w moves HBO's operating point (SC1-CF1)",
+    )
+
+
+@dataclass(frozen=True)
+class DeviceRun:
+    device: str
+    triangle_ratio: float
+    quality: float
+    epsilon: float
+    allocation_counts: Dict[str, int]  # resource short code -> count
+
+
+@dataclass(frozen=True)
+class DeviceComparisonResult:
+    runs: List[DeviceRun]
+
+
+def run_device_comparison(
+    scenario: str = "SC1",
+    taskset: str = "CF1",
+    seed: int = DEFAULT_SEED,
+    config: HBOConfig = None,  # type: ignore[assignment]
+) -> DeviceComparisonResult:
+    """The same scenario tuned on the Pixel 7 and the Galaxy S22."""
+    cfg = config if config is not None else HBOConfig()
+    runs: List[DeviceRun] = []
+    for device in (PIXEL7, GALAXY_S22):
+        system = build_system(
+            scenario,
+            taskset,
+            device=device,
+            seed=derive_seed(seed, "devices", scenario, taskset),
+        )
+        controller = HBOController(
+            system, cfg, seed=derive_seed(seed, "devices-hbo", device)
+        )
+        result = controller.activate()
+        measurement = result.final_measurement
+        counts: Dict[str, int] = {}
+        for resource in result.best.allocation.values():
+            counts[resource.short] = counts.get(resource.short, 0) + 1
+        runs.append(
+            DeviceRun(
+                device=device,
+                triangle_ratio=result.best.triangle_ratio,
+                quality=measurement.quality,
+                epsilon=measurement.epsilon,
+                allocation_counts=counts,
+            )
+        )
+    return DeviceComparisonResult(runs=runs)
+
+
+def render_device_comparison(result: DeviceComparisonResult) -> str:
+    rows = [
+        [
+            run.device,
+            run.triangle_ratio,
+            run.quality,
+            run.epsilon,
+            ", ".join(f"{k}:{v}" for k, v in sorted(run.allocation_counts.items())),
+        ]
+        for run in result.runs
+    ]
+    return format_table(
+        ["Device", "x*", "quality Q", "eps", "allocation"],
+        rows,
+        title="Device comparison — the same scenario on both Table I phones",
+    )
+
+
+if __name__ == "__main__":
+    print(render_w_sweep(run_w_sweep()))
+    print()
+    print(render_device_comparison(run_device_comparison()))

@@ -1,0 +1,112 @@
+"""Table I: baseline (isolation) response times per model/resource/device.
+
+The paper profiles each TFLite model alone — no other AI tasks, no
+virtual objects — on GPU delegate, NNAPI and CPU for both phones. Here
+the profiles are the simulator's calibration *inputs*, so this experiment
+doubles as a fidelity check: it runs each model in isolation through the
+full device simulator and verifies the measured latency reproduces the
+profile (it must, within measurement noise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.device.executor import DeviceSimulator
+from repro.device.profiles import GALAXY_S22, PIXEL7, get_profile, model_names
+from repro.device.resources import ALL_RESOURCES, Resource
+from repro.device.soc import galaxy_s22_soc, pixel7_soc
+from repro.experiments.report import format_table
+from repro.rng import derive_seed
+
+_SOCS = {GALAXY_S22: galaxy_s22_soc, PIXEL7: pixel7_soc}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One model's isolation latencies on one device."""
+
+    model: str
+    task_type: str
+    device: str
+    latency_ms: Dict[Resource, Optional[float]]  # None = NA
+    reference_ms: Dict[Resource, Optional[float]]  # the paper's numbers
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    rows: List[Table1Row]
+
+    def max_relative_error(self) -> float:
+        """Worst measured-vs-paper deviation across all cells."""
+        worst = 0.0
+        for row in self.rows:
+            for res in ALL_RESOURCES:
+                measured, ref = row.latency_ms[res], row.reference_ms[res]
+                if measured is None or ref is None:
+                    continue
+                worst = max(worst, abs(measured - ref) / ref)
+        return worst
+
+
+def run_table1(seed: int = 0, samples: int = 30) -> Table1Result:
+    """Measure every (device, model, resource) cell in isolation."""
+    rows: List[Table1Row] = []
+    for device, soc_factory in _SOCS.items():
+        for model in model_names(device):
+            profile = get_profile(device, model)
+            measured: Dict[Resource, Optional[float]] = {}
+            for resource in ALL_RESOURCES:
+                if not profile.supports(resource):
+                    measured[resource] = None
+                    continue
+                sim = DeviceSimulator(
+                    soc_factory(),
+                    noise_sigma=0.02,
+                    seed=derive_seed(seed, device, model, str(resource)),
+                )
+                sim.add_task("probe", profile, resource)
+                period = sim.measure_period(n_samples=samples)
+                measured[resource] = period["probe"]
+            rows.append(
+                Table1Row(
+                    model=model,
+                    task_type=profile.task_type,
+                    device=device,
+                    latency_ms=measured,
+                    reference_ms=dict(profile.latency_ms),
+                )
+            )
+    return Table1Result(rows=rows)
+
+
+def render(result: Table1Result) -> str:
+    """Table I layout: model rows, GPU/NNAPI/CPU columns per device."""
+    sections = []
+    for device in (GALAXY_S22, PIXEL7):
+        body = []
+        for row in result.rows:
+            if row.device != device:
+                continue
+            cells = [row.model, row.task_type]
+            for res in (Resource.GPU_DELEGATE, Resource.NNAPI, Resource.CPU):
+                value = row.latency_ms[res]
+                cells.append("NA" if value is None else f"{value:.1f}")
+            body.append(cells)
+        sections.append(
+            format_table(
+                ["AI Model", "Task", "GPU", "NNAPI", "CPU"],
+                body,
+                title=f"Table I — isolation response time (ms), {device}",
+            )
+        )
+    sections.append(
+        f"max relative error vs paper profile: "
+        f"{result.max_relative_error() * 100:.1f}%"
+    )
+    return "\n\n".join(sections)
+
+
+if __name__ == "__main__":
+    print(render(run_table1()))

@@ -1,0 +1,136 @@
+"""Synthetic operator graphs and NNAPI-style partitioning.
+
+The real NNAPI delegate walks a model's operator graph and assigns each op
+to the best available accelerator, falling back to the GPU (or CPU) for
+unsupported ops — that is the mechanism behind the per-model
+``npu_coverage`` numbers in :mod:`repro.device.profiles`. To keep that
+mechanism inspectable (and testable) rather than a bare constant, this
+module synthesizes a deterministic op graph per model whose NPU-supported
+compute fraction matches the profile's coverage, and implements the greedy
+partitioner that NNAPI applies.
+
+The contention model consumes only the aggregate coverage, so these graphs
+are a faithful *generator* of that number, not an extra source of truth.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.device.profiles import StaticProfile
+from repro.device.resources import Processor
+from repro.errors import ConfigurationError
+
+#: Op kinds that mobile NPUs typically execute natively.
+NPU_FRIENDLY_KINDS = ("conv2d", "dwconv2d", "fc", "pool", "add")
+#: Op kinds that typically fall back to GPU/CPU paths.
+NPU_UNFRIENDLY_KINDS = ("resize", "transpose_conv", "custom", "argmax", "softmax_2d")
+
+_TASK_TYPE_OP_COUNT = {
+    "IS": 38,  # segmentation backbones + decoder
+    "OD": 34,  # detector backbone + heads + NMS-ish tail
+    "IC": 28,  # classifier backbone
+    "GD": 20,  # small gesture network
+    "DC": 12,  # tiny mnist net
+}
+
+
+@dataclass(frozen=True)
+class Op:
+    """One operator in a model graph."""
+
+    name: str
+    kind: str
+    flops: float
+    npu_supported: bool
+
+    def __post_init__(self) -> None:
+        if self.flops <= 0:
+            raise ConfigurationError(f"op {self.name!r}: flops must be > 0")
+
+
+@dataclass(frozen=True)
+class OpGraph:
+    """A linear operator graph (TFLite graphs are topologically ordered)."""
+
+    model: str
+    ops: Tuple[Op, ...]
+
+    def total_flops(self) -> float:
+        return sum(op.flops for op in self.ops)
+
+    def npu_flops(self) -> float:
+        return sum(op.flops for op in self.ops if op.npu_supported)
+
+    def npu_coverage(self) -> float:
+        """Fraction of compute that NNAPI can place on the NPU."""
+        total = self.total_flops()
+        return self.npu_flops() / total if total > 0 else 0.0
+
+    def partition_count(self) -> int:
+        """Number of contiguous same-target partitions (delegate hand-offs
+        happen at each boundary, so more partitions = more comm cost)."""
+        if not self.ops:
+            return 0
+        count = 1
+        for prev, cur in zip(self.ops, self.ops[1:]):
+            if prev.npu_supported != cur.npu_supported:
+                count += 1
+        return count
+
+
+def _stable_fractions(model: str, n: int) -> List[float]:
+    """Deterministic pseudo-random positive weights summing to 1."""
+    weights = []
+    for i in range(n):
+        digest = hashlib.sha256(f"{model}:{i}".encode()).digest()
+        weights.append(1.0 + digest[0] / 64.0)
+    total = sum(weights)
+    return [w / total for w in weights]
+
+
+def build_op_graph(profile: StaticProfile) -> OpGraph:
+    """Synthesize an op graph whose NPU coverage matches the profile.
+
+    Ops are laid out as a realistic mobile network: NPU-friendly convs in
+    the body with occasional unfriendly ops (resizes, custom ops) — a
+    segmentation model ends in an unfriendly decoder tail. The marked
+    NPU-supported flops fraction is within ~2% of ``profile.npu_coverage``
+    (exactly 0 when coverage is 0).
+    """
+    n_ops = _TASK_TYPE_OP_COUNT.get(profile.task_type, 24)
+    fractions = _stable_fractions(profile.model, n_ops)
+    target = profile.npu_coverage
+
+    ops: List[Op] = []
+    supported_flops = 0.0
+    # Greedy front-to-back marking: mark ops NPU-supported until the
+    # supported fraction reaches the target; the tail becomes fallback ops.
+    # This mirrors how real graphs look (exotic ops cluster in decoders).
+    for i, frac in enumerate(fractions):
+        make_supported = supported_flops + frac <= target + 1e-9
+        if make_supported:
+            supported_flops += frac
+            kind = NPU_FRIENDLY_KINDS[i % len(NPU_FRIENDLY_KINDS)]
+        else:
+            kind = NPU_UNFRIENDLY_KINDS[i % len(NPU_UNFRIENDLY_KINDS)]
+        ops.append(
+            Op(
+                name=f"{profile.model}/op{i:02d}_{kind}",
+                kind=kind,
+                flops=frac,
+                npu_supported=make_supported,
+            )
+        )
+    return OpGraph(model=profile.model, ops=tuple(ops))
+
+
+def partition_for_nnapi(graph: OpGraph) -> Dict[Processor, List[Op]]:
+    """NNAPI-style greedy partition: supported ops → NPU, rest → GPU."""
+    assignment: Dict[Processor, List[Op]] = {Processor.NPU: [], Processor.GPU: []}
+    for op in graph.ops:
+        target = Processor.NPU if op.npu_supported else Processor.GPU
+        assignment[target].append(op)
+    return assignment

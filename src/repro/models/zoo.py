@@ -1,0 +1,87 @@
+"""Model registry — the stand-in for the TFLite hosted-models repo.
+
+The paper uses pre-trained TensorFlow Lite models [16]; only their latency
+profiles and delegate compatibility matter to the scheduler (§III-A leaves
+accuracy out of scope). :class:`ModelZoo` wraps the Table I profile data
+for one device and adds convenience queries the rest of the library uses:
+affinity (best resource in isolation), the expected latency τ^e of Eq. 4,
+and the (task, resource) priority entries that feed Algorithm 1's queue.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.device.profiles import (
+    GALAXY_S22,
+    PIXEL7,
+    StaticProfile,
+    canonical_model_name,
+    device_names,
+    get_profile,
+    model_names,
+)
+from repro.device.resources import ALL_RESOURCES, Resource
+from repro.errors import UnknownModelError
+
+
+class ModelZoo:
+    """All models known for a given device, with profile queries."""
+
+    def __init__(self, device: str = PIXEL7) -> None:
+        if device not in device_names():
+            raise UnknownModelError(
+                f"unknown device {device!r}; expected one of {device_names()}"
+            )
+        self.device = device
+
+    def names(self) -> Tuple[str, ...]:
+        return model_names(self.device)
+
+    def profile(self, model: str) -> StaticProfile:
+        return get_profile(self.device, model)
+
+    def supports(self, model: str, resource: Resource) -> bool:
+        return self.profile(model).supports(resource)
+
+    def compatible_resources(self, model: str) -> List[Resource]:
+        profile = self.profile(model)
+        return [res for res in ALL_RESOURCES if profile.supports(res)]
+
+    def affinity(self, model: str) -> Resource:
+        """The resource where the model is fastest in isolation."""
+        resource, _ = self.profile(model).best_resource()
+        return resource
+
+    def expected_latency(self, model: str) -> float:
+        """τ^e of Eq. 4: the lowest isolation latency across resources."""
+        _, latency = self.profile(model).best_resource()
+        return latency
+
+    def isolation_table(self) -> Dict[str, Dict[Resource, Optional[float]]]:
+        """The device's Table I slice: model → resource → ms (None = NA)."""
+        return {
+            name: dict(self.profile(name).latency_ms) for name in self.names()
+        }
+
+    def priority_entries(
+        self, models: List[str]
+    ) -> List[Tuple[float, str, Resource]]:
+        """(latency, model, resource) entries for Algorithm 1's queue ``P``.
+
+        One entry per compatible (model, resource) pair, for the given
+        *instance list* ``models`` (duplicates allowed — each instance gets
+        its own entries). Sorted by the caller via heap push.
+        """
+        entries = []
+        for model in models:
+            profile = self.profile(model)
+            for resource in ALL_RESOURCES:
+                if profile.supports(resource):
+                    entries.append(
+                        (profile.latency(resource), canonical_model_name(model), resource)
+                    )
+        return entries
+
+
+__all__ = ["ModelZoo", "GALAXY_S22", "PIXEL7"]

@@ -1,0 +1,44 @@
+"""Simulation engine: scripted MAR sessions over a simulated clock.
+
+- :mod:`repro.sim.clock` — the discrete simulation clock.
+- :mod:`repro.sim.events` — scene events (object placement/removal, user
+  movement) with firing times.
+- :mod:`repro.sim.trace` — telemetry recording (reward samples,
+  activations, allocations over time).
+- :mod:`repro.sim.engine` — the monitoring loop of §IV-E: advance time,
+  fire events, sample the reward, consult the activation policy, run HBO
+  activations.
+- :mod:`repro.sim.scenarios` — builders for the paper's experimental
+  set-ups (SC1/SC2 × CF1/CF2, the Fig. 8 placement script, the Fig. 2
+  motivation runs).
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.engine import MonitoringEngine, MonitorReport
+from repro.sim.events import DistanceChange, ObjectPlacement, ObjectRemoval, SceneEvent
+from repro.sim.scenarios import (
+    ScenarioName,
+    build_system,
+    fig8_event_script,
+    scenario_catalog,
+    scenario_taskset,
+)
+from repro.sim.trace import ActivationRecord, RewardSample, SessionTrace
+
+__all__ = [
+    "ActivationRecord",
+    "DistanceChange",
+    "MonitorReport",
+    "MonitoringEngine",
+    "ObjectPlacement",
+    "ObjectRemoval",
+    "RewardSample",
+    "ScenarioName",
+    "SceneEvent",
+    "SessionTrace",
+    "SimClock",
+    "build_system",
+    "fig8_event_script",
+    "scenario_catalog",
+    "scenario_taskset",
+]

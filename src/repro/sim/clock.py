@@ -1,0 +1,41 @@
+"""Discrete simulation clock.
+
+The paper's experiments are wall-clock sessions (Fig. 2 and Fig. 8 have
+time axes in seconds); control runs in fixed periods. :class:`SimClock`
+keeps simulated seconds decoupled from host time so a 6-minute session
+replays in milliseconds and every experiment is deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class SimClock:
+    """Monotonic simulated time in seconds."""
+
+    def __init__(self, start_s: float = 0.0) -> None:
+        self._now = float(start_s)
+
+    @property
+    def now_s(self) -> float:
+        return self._now
+
+    def advance(self, dt_s: float) -> float:
+        """Move time forward by ``dt_s`` seconds; returns the new time."""
+        if dt_s < 0:
+            raise SimulationError(f"cannot advance time by {dt_s} s")
+        self._now += dt_s
+        return self._now
+
+    def advance_to(self, t_s: float) -> float:
+        """Jump to an absolute time (must not move backwards)."""
+        if t_s < self._now:
+            raise SimulationError(
+                f"cannot rewind clock from {self._now} s to {t_s} s"
+            )
+        self._now = float(t_s)
+        return self._now
+
+    def reset(self, start_s: float = 0.0) -> None:
+        self._now = float(start_s)

@@ -1,0 +1,104 @@
+"""Scene events for scripted sessions.
+
+Each event carries a firing time and an ``apply(scene)`` mutation. The
+monitoring engine fires due events as the clock advances — this is how the
+Fig. 8 experiment scripts "the automated addition of 10 virtual objects
+... and the user distance change around t = 320 s".
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.ar.objects import VirtualObject
+from repro.ar.scene import Scene
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class SceneEvent(ABC):
+    """Base: something that changes the scene at a point in time."""
+
+    time_s: float
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise SimulationError(f"event time must be >= 0, got {self.time_s}")
+
+    @abstractmethod
+    def apply(self, scene: Scene) -> str:
+        """Mutate the scene; return a short description for the trace."""
+
+
+@dataclass(frozen=True)
+class ObjectPlacement(SceneEvent):
+    """Place an object instance at a world position."""
+
+    instance_id: str = ""
+    obj: VirtualObject = None  # type: ignore[assignment]
+    position: Tuple[float, float, float] = (0.0, 0.0, 1.0)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.instance_id:
+            raise SimulationError("ObjectPlacement needs an instance_id")
+        if self.obj is None:
+            raise SimulationError(
+                f"ObjectPlacement {self.instance_id!r} needs an object"
+            )
+
+    def apply(self, scene: Scene) -> str:
+        scene.add(self.instance_id, self.obj, self.position)
+        return (
+            f"place {self.instance_id} "
+            f"({self.obj.max_triangles:,} triangles)"
+        )
+
+
+@dataclass(frozen=True)
+class ObjectRemoval(SceneEvent):
+    """Remove an object instance from the scene."""
+
+    instance_id: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.instance_id:
+            raise SimulationError("ObjectRemoval needs an instance_id")
+
+    def apply(self, scene: Scene) -> str:
+        scene.remove(self.instance_id)
+        return f"remove {self.instance_id}"
+
+
+@dataclass(frozen=True)
+class DistanceChange(SceneEvent):
+    """Move the user to a new position (changes every object distance)."""
+
+    user_position: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+
+    def apply(self, scene: Scene) -> str:
+        scene.move_user(self.user_position)
+        return f"user moves to {tuple(round(c, 2) for c in self.user_position)}"
+
+
+def validate_script(events: Sequence[SceneEvent]) -> Tuple[SceneEvent, ...]:
+    """Sort a script by time and sanity-check it (unique placement ids)."""
+    ordered = tuple(sorted(events, key=lambda e: e.time_s))
+    placed = set()
+    for event in ordered:
+        if isinstance(event, ObjectPlacement):
+            if event.instance_id in placed:
+                raise SimulationError(
+                    f"duplicate placement of {event.instance_id!r} in script"
+                )
+            placed.add(event.instance_id)
+        elif isinstance(event, ObjectRemoval):
+            if event.instance_id not in placed:
+                raise SimulationError(
+                    f"removal of never-placed {event.instance_id!r} in script"
+                )
+            placed.discard(event.instance_id)
+    return ordered

@@ -1,0 +1,13 @@
+"""Simulated user study (the paper's §V-E).
+
+The paper validates perceived virtual-object quality with seven human
+raters scoring 1–5 against a full-quality reference. We invert the
+validated Eq. 1 quality model into a psychometric rating curve
+(:mod:`repro.userstudy.perception`) and simulate a rater panel with
+per-rater bias and trial noise (:mod:`repro.userstudy.panel`).
+"""
+
+from repro.userstudy.panel import RaterPanel, StudyResult
+from repro.userstudy.perception import PerceptionModel
+
+__all__ = ["PerceptionModel", "RaterPanel", "StudyResult"]

@@ -1,0 +1,74 @@
+"""A simulated rater panel.
+
+Seven students scored virtual-object quality in the paper. Each simulated
+rater applies the shared psychometric curve plus a personal bias (some
+people are stricter) and per-trial noise; individual ratings are integers
+1–5 as a questionnaire collects, and the study statistic is their mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, make_rng
+from repro.userstudy.perception import PerceptionModel
+
+
+@dataclass(frozen=True)
+class StudyResult:
+    """Ratings of one condition (e.g. 'HBO at close distance')."""
+
+    condition: str
+    ratings: List[int]
+
+    @property
+    def mean_score(self) -> float:
+        if not self.ratings:
+            raise ConfigurationError(f"{self.condition!r}: no ratings collected")
+        return float(np.mean(self.ratings))
+
+    @property
+    def n_raters(self) -> int:
+        return len(self.ratings)
+
+
+class RaterPanel:
+    """A fixed panel of simulated raters."""
+
+    def __init__(
+        self,
+        n_raters: int = 7,
+        perception: PerceptionModel = None,  # type: ignore[assignment]
+        bias_sigma: float = 0.25,
+        noise_sigma: float = 0.3,
+        seed: SeedLike = None,
+    ) -> None:
+        if n_raters < 1:
+            raise ConfigurationError(f"n_raters must be >= 1, got {n_raters}")
+        if bias_sigma < 0 or noise_sigma < 0:
+            raise ConfigurationError("bias/noise sigmas must be >= 0")
+        self.perception = perception if perception is not None else PerceptionModel()
+        self._rng = make_rng(seed)
+        # Per-rater additive bias on the 1-5 scale, fixed for the panel's
+        # lifetime (the same seven students rate every condition).
+        self._biases = self._rng.normal(0.0, bias_sigma, n_raters)
+        self.noise_sigma = float(noise_sigma)
+
+    @property
+    def n_raters(self) -> int:
+        return int(self._biases.shape[0])
+
+    def rate(self, condition: str, quality: float) -> StudyResult:
+        """Collect one integer 1–5 rating per rater for a condition."""
+        expected = self.perception.mean_opinion_score(quality)
+        raw = (
+            expected
+            + self._biases
+            + self._rng.normal(0.0, self.noise_sigma, self.n_raters)
+        )
+        ratings = [int(r) for r in np.clip(np.rint(raw), 1, 5)]
+        return StudyResult(condition=condition, ratings=ratings)

@@ -1,0 +1,61 @@
+"""Shared fixtures.
+
+Systems are expensive enough (scene placement + device registration) that
+scenario fixtures are module-scoped where tests only read; tests that
+mutate build their own via the factory fixtures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.controller import HBOConfig
+from repro.core.system import MARSystem
+from repro.device.executor import DeviceSimulator
+from repro.device.profiles import GALAXY_S22, PIXEL7, get_profile
+from repro.device.soc import galaxy_s22_soc, pixel7_soc
+from repro.sim.scenarios import build_system
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def pixel_device():
+    """A noiseless Pixel 7 simulator (deterministic latencies)."""
+    return DeviceSimulator(pixel7_soc(), noise_sigma=0.0, seed=1)
+
+
+@pytest.fixture
+def s22_device():
+    return DeviceSimulator(galaxy_s22_soc(), noise_sigma=0.0, seed=1)
+
+
+@pytest.fixture
+def deeplab_profile():
+    return get_profile(GALAXY_S22, "deeplabv3")
+
+
+@pytest.fixture
+def mobilenet_profile():
+    return get_profile(PIXEL7, "mobilenet-v1")
+
+
+@pytest.fixture
+def sc1cf1_system() -> MARSystem:
+    """A fresh SC1-CF1 system (function-scoped: tests mutate it)."""
+    return build_system("SC1", "CF1", seed=7, noise_sigma=0.0)
+
+
+@pytest.fixture
+def sc2cf2_system() -> MARSystem:
+    return build_system("SC2", "CF2", seed=7, noise_sigma=0.0)
+
+
+@pytest.fixture
+def fast_config() -> HBOConfig:
+    """A small HBO budget for integration tests (3 random + 4 guided)."""
+    return HBOConfig(n_initial=3, n_iterations=4)

@@ -1,0 +1,175 @@
+"""Unit tests for repro.ar.distribution (TD heuristic) and repro.ar.cache."""
+
+import numpy as np
+import pytest
+
+from repro.ar.cache import DecimationServer, LODCache, quantize_ratio
+from repro.ar.distribution import (
+    MIN_OBJECT_RATIO,
+    achieved_ratio,
+    distribute_triangles,
+    greedy_optimal_distribution,
+    uniform_distribution,
+)
+from repro.ar.objects import catalog_sc1, expand_instances, object_by_name
+from repro.ar.quality import average_quality
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def sc1_objects():
+    return {iid: obj for iid, obj in expand_instances(catalog_sc1())}
+
+
+@pytest.fixture
+def sc1_distances(sc1_objects, rng):
+    return {iid: float(rng.uniform(0.8, 2.5)) for iid in sc1_objects}
+
+
+class TestTD:
+    def test_budget_respected(self, sc1_objects, sc1_distances):
+        for x in (0.9, 0.7, 0.5, 0.3):
+            ratios = distribute_triangles(sc1_objects, sc1_distances, x)
+            assert achieved_ratio(sc1_objects, ratios) == pytest.approx(x, abs=0.02)
+
+    def test_per_object_bounds(self, sc1_objects, sc1_distances):
+        ratios = distribute_triangles(sc1_objects, sc1_distances, 0.5)
+        for ratio in ratios.values():
+            assert MIN_OBJECT_RATIO - 1e-9 <= ratio <= 1.0 + 1e-9
+
+    def test_full_budget_keeps_everything_full(self, sc1_objects, sc1_distances):
+        ratios = distribute_triangles(sc1_objects, sc1_distances, 1.0)
+        assert all(r == pytest.approx(1.0, abs=1e-6) for r in ratios.values())
+
+    def test_sensitive_objects_get_more(self, sc1_objects):
+        """An object much closer to the user (larger Eq. 1 error) should
+        receive a higher decimation ratio than the same object far away."""
+        objects = {
+            "near": object_by_name("plane"),
+            "far": object_by_name("plane"),
+        }
+        distances = {"near": 1.0, "far": 3.0}
+        ratios = distribute_triangles(objects, distances, 0.5)
+        assert ratios["near"] > ratios["far"]
+
+    def test_beats_or_matches_uniform_on_quality(self, sc1_objects, sc1_distances):
+        """TD's reason to exist: higher Eq. 2 than a uniform split at the
+        same total budget (allow a small tolerance for edge budgets)."""
+        ids = sorted(sc1_objects)
+        models = [sc1_objects[i].degradation for i in ids]
+        dists = [sc1_distances[i] for i in ids]
+
+        wins = 0
+        for x in (0.8, 0.65, 0.5):
+            td = distribute_triangles(sc1_objects, sc1_distances, x)
+            uni = uniform_distribution(sc1_objects, sc1_distances, x)
+            q_td = average_quality(models, [td[i] for i in ids], dists)
+            q_uni = average_quality(models, [uni[i] for i in ids], dists)
+            if q_td >= q_uni - 1e-3:
+                wins += 1
+        assert wins >= 2
+
+    def test_empty_scene(self):
+        assert distribute_triangles({}, {}, 0.5) == {}
+
+    def test_validation(self, sc1_objects, sc1_distances):
+        with pytest.raises(ConfigurationError):
+            distribute_triangles(sc1_objects, sc1_distances, 0.0)
+        with pytest.raises(ConfigurationError):
+            distribute_triangles(sc1_objects, sc1_distances, 1.2)
+        with pytest.raises(ConfigurationError):
+            distribute_triangles(sc1_objects, {}, 0.5)
+        bad_distances = dict(sc1_distances)
+        bad_distances[next(iter(bad_distances))] = -1.0
+        with pytest.raises(ConfigurationError):
+            distribute_triangles(sc1_objects, bad_distances, 0.5)
+
+
+class TestGreedyOptimal:
+    def test_budget_respected(self, sc1_objects, sc1_distances):
+        ratios = greedy_optimal_distribution(sc1_objects, sc1_distances, 0.6)
+        assert achieved_ratio(sc1_objects, ratios) == pytest.approx(0.6, abs=0.05)
+
+    def test_at_least_as_good_as_uniform(self, sc1_objects, sc1_distances):
+        ids = sorted(sc1_objects)
+        models = [sc1_objects[i].degradation for i in ids]
+        dists = [sc1_distances[i] for i in ids]
+        greedy = greedy_optimal_distribution(sc1_objects, sc1_distances, 0.5)
+        uni = uniform_distribution(sc1_objects, sc1_distances, 0.5)
+        q_greedy = average_quality(models, [greedy[i] for i in ids], dists)
+        q_uni = average_quality(models, [uni[i] for i in ids], dists)
+        assert q_greedy >= q_uni - 1e-6
+
+    def test_invalid_chunks_rejected(self, sc1_objects, sc1_distances):
+        with pytest.raises(ConfigurationError):
+            greedy_optimal_distribution(sc1_objects, sc1_distances, 0.5, n_chunks=0)
+
+
+class TestLODCache:
+    def test_quantize(self):
+        assert quantize_ratio(0.714) == pytest.approx(0.72)
+        assert quantize_ratio(1.0) == 1.0
+        assert quantize_ratio(0.001) == pytest.approx(0.02)  # never below a quantum
+        with pytest.raises(ConfigurationError):
+            quantize_ratio(0.0)
+
+    def test_hit_miss_accounting(self):
+        cache = LODCache(max_entries=4)
+        mesh = object_by_name("cabin").mesh(500)
+        assert cache.get("cabin", 0.5) is None
+        cache.put("cabin", 0.5, mesh)
+        assert cache.get("cabin", 0.5) is mesh
+        assert cache.get("cabin", 0.508) is mesh  # same quantized key
+        assert cache.hits == 2 and cache.misses == 1
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_lru_eviction(self):
+        cache = LODCache(max_entries=2)
+        mesh = object_by_name("cabin").mesh(500)
+        cache.put("a", 0.5, mesh)
+        cache.put("b", 0.5, mesh)
+        cache.get("a", 0.5)  # refresh 'a'
+        cache.put("c", 0.5, mesh)  # evicts 'b'
+        assert cache.get("b", 0.5) is None
+        assert cache.get("a", 0.5) is mesh
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            LODCache(max_entries=0)
+
+
+class TestDecimationServer:
+    def test_fetch_decimates_and_caches(self):
+        server = DecimationServer(mesh_resolution=800)
+        obj = object_by_name("hammer")
+        first = server.fetch(obj, 0.4)
+        assert not first.from_cache
+        assert first.latency_ms > 0
+        assert first.mesh.n_triangles < obj.mesh(800).n_triangles
+        second = server.fetch(obj, 0.41)  # same quantized LOD
+        assert second.from_cache
+        assert second.latency_ms == 0.0
+
+    def test_full_ratio_serves_original(self):
+        server = DecimationServer(mesh_resolution=800)
+        obj = object_by_name("cabin")
+        result = server.fetch(obj, 1.0)
+        assert result.mesh.n_triangles == obj.mesh(800).n_triangles
+
+    def test_transfer_latency_scales_with_triangles(self):
+        server = DecimationServer(rtt_ms=10, ms_per_million_triangles=100)
+        small = server.fetch(object_by_name("cabin"), 0.5)  # 2.3k tris
+        large = server.fetch(object_by_name("bike"), 0.5)  # 178k tris
+        assert large.latency_ms > small.latency_ms
+
+    def test_train_parameters_produces_decreasing_error(self):
+        server = DecimationServer(mesh_resolution=600)
+        params = server.train_parameters(object_by_name("ATV"), seed=5)
+        from repro.ar.degradation import DegradationModel
+
+        model = DegradationModel(params)
+        assert model.error(0.15, 1.0) > model.error(0.8, 1.0)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DecimationServer(rtt_ms=-1)

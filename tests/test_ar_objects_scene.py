@@ -1,0 +1,176 @@
+"""Unit tests for repro.ar.objects, repro.ar.scene and repro.ar.renderer."""
+
+import numpy as np
+import pytest
+
+from repro.ar.objects import (
+    VirtualObject,
+    catalog_sc1,
+    catalog_sc2,
+    expand_instances,
+    object_by_name,
+    total_max_triangles,
+)
+from repro.ar.renderer import RenderLoadModel
+from repro.ar.scene import MIN_DISTANCE_M, PlacedObject, Scene
+from repro.errors import ConfigurationError, SceneError
+
+
+class TestCatalogs:
+    def test_sc1_matches_table2(self):
+        catalog = dict((obj.name, (obj.max_triangles, count)) for obj, count in catalog_sc1())
+        assert catalog["apricot"] == (86_016, 1)
+        assert catalog["bike"] == (178_552, 1)
+        assert catalog["plane"] == (146_803, 4)
+        assert catalog["splane"] == (146_803, 1)
+        assert catalog["Cocacola"] == (94_080, 2)
+        assert total_max_triangles(catalog_sc1()) == 1_186_743
+
+    def test_sc2_matches_table2(self):
+        catalog = dict((obj.name, (obj.max_triangles, count)) for obj, count in catalog_sc2())
+        assert catalog["cabin"] == (2_324, 1)
+        assert catalog["andy"] == (2_304, 2)
+        assert catalog["ATV"] == (4_907, 2)
+        assert catalog["hammer"] == (6_250, 2)
+
+    def test_sc1_much_heavier_than_sc2(self):
+        assert total_max_triangles(catalog_sc1()) > 30 * total_max_triangles(
+            catalog_sc2()
+        )
+
+    def test_expand_instances_naming(self):
+        ids = [iid for iid, _obj in expand_instances(catalog_sc1())]
+        assert "apricot" in ids  # single instance keeps asset name
+        assert "plane_1" in ids and "plane_4" in ids
+        assert len(ids) == 9
+
+    def test_object_by_name(self):
+        assert object_by_name("bike").max_triangles == 178_552
+        with pytest.raises(SceneError):
+            object_by_name("teapot")
+
+    def test_mesh_generation_capped(self):
+        bike = object_by_name("bike")
+        mesh = bike.mesh(mesh_triangles=2_000)
+        assert mesh.n_triangles <= 2_600  # capped, not 178k
+
+    def test_with_fitted_params_runs_pipeline(self):
+        obj = VirtualObject.with_fitted_params("custom-vase", 5_000, seed=1)
+        assert obj.degradation.error(0.2, 1.0) > obj.degradation.error(0.9, 1.0)
+
+    def test_tiny_object_rejected(self):
+        params = catalog_sc1()[0][0].params
+        with pytest.raises(ConfigurationError):
+            VirtualObject(name="dust", max_triangles=4, params=params)
+
+
+class TestScene:
+    @pytest.fixture
+    def scene(self):
+        scene = Scene(user_position=(0, 0, 0))
+        scene.add("bike", object_by_name("bike"), position=(0, 0, 2.0))
+        scene.add("apricot", object_by_name("apricot"), position=(1.0, 0, 0))
+        return scene
+
+    def test_add_and_query(self, scene):
+        assert len(scene) == 2
+        assert "bike" in scene
+        assert scene.get("bike").obj.name == "bike"
+
+    def test_duplicate_instance_rejected(self, scene):
+        with pytest.raises(SceneError, match="already placed"):
+            scene.add("bike", object_by_name("bike"), position=(0, 0, 1))
+
+    def test_remove(self, scene):
+        scene.remove("apricot")
+        assert len(scene) == 1
+        with pytest.raises(SceneError):
+            scene.remove("apricot")
+
+    def test_distances(self, scene):
+        assert scene.distance("bike") == pytest.approx(2.0)
+        assert scene.distance("apricot") == pytest.approx(1.0)
+
+    def test_distance_clamped_near_user(self, scene):
+        scene.add("near", object_by_name("cabin"), position=(0, 0, 0.01))
+        assert scene.distance("near") == MIN_DISTANCE_M
+
+    def test_move_user_updates_distances(self, scene):
+        scene.move_user((0, 0, 1.0))
+        assert scene.distance("bike") == pytest.approx(1.0)
+
+    def test_ratios_and_triangle_accounting(self, scene):
+        assert scene.triangle_ratio == pytest.approx(1.0)
+        scene.apply_ratios({"bike": 0.5, "apricot": 0.5})
+        assert scene.triangle_ratio == pytest.approx(0.5)
+        expected_drawn = 0.5 * (178_552 + 86_016)
+        assert scene.drawn_triangles == pytest.approx(expected_drawn)
+
+    def test_apply_ratios_unknown_id_rejected(self, scene):
+        with pytest.raises(SceneError, match="unknown instance"):
+            scene.apply_ratios({"ghost": 0.5})
+
+    def test_quality_full_ratio_is_one(self, scene):
+        assert scene.average_quality() == pytest.approx(1.0, abs=1e-9)
+
+    def test_quality_drops_with_decimation(self, scene):
+        scene.apply_ratios({"bike": 0.3, "apricot": 0.3})
+        assert scene.average_quality() < 0.95
+
+    def test_invalid_ratio_rejected(self, scene):
+        with pytest.raises(SceneError):
+            scene.set_ratio("bike", 0.0)
+        with pytest.raises(SceneError):
+            scene.set_ratio("bike", 1.2)
+
+    def test_empty_scene_aggregates(self):
+        scene = Scene()
+        assert scene.triangle_ratio == 1.0
+        assert scene.average_quality() == 1.0
+        assert scene.drawn_triangles == 0.0
+
+    def test_invalid_positions_rejected(self):
+        scene = Scene()
+        with pytest.raises(SceneError):
+            scene.add("x", object_by_name("bike"), position=(1.0, 2.0))
+        with pytest.raises(SceneError):
+            scene.move_user((np.nan, 0, 0))
+
+
+class TestRenderLoadModel:
+    def test_culled_fraction_decreases_with_distance(self):
+        model = RenderLoadModel()
+        fractions = [model.culled_fraction(d) for d in (0.5, 1.0, 2.0, 4.0)]
+        assert all(b <= a for a, b in zip(fractions, fractions[1:]))
+
+    def test_culled_fraction_floor(self):
+        model = RenderLoadModel(min_fraction=0.35, backface_fraction=0.6)
+        assert model.culled_fraction(100.0) == pytest.approx(0.6 * 0.35)
+
+    def test_rendered_triangles_scale_with_ratio(self):
+        scene = Scene()
+        scene.add("bike", object_by_name("bike"), position=(0, 0, 1.0))
+        model = RenderLoadModel()
+        full = model.rendered_triangles(scene)
+        scene.set_ratio("bike", 0.5)
+        assert model.rendered_triangles(scene) == pytest.approx(0.5 * full)
+
+    def test_system_load_fields(self):
+        scene = Scene()
+        scene.add("bike", object_by_name("bike"), position=(0, 0, 1.0))
+        model = RenderLoadModel(base_gpu_streams=0.5)
+        load = model.system_load(scene)
+        assert load.n_objects == 1
+        assert load.base_gpu_streams == 0.5
+        assert load.submitted_triangles == pytest.approx(scene.drawn_triangles)
+        assert load.rendered_triangles < load.submitted_triangles
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RenderLoadModel(backface_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            RenderLoadModel(min_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            RenderLoadModel(base_gpu_streams=-0.1)
+        with pytest.raises(ConfigurationError):
+            RenderLoadModel().culled_fraction(0.0)

@@ -1,0 +1,112 @@
+"""Unit tests for repro.bo.acquisition."""
+
+import numpy as np
+import pytest
+
+from repro.bo.acquisition import (
+    ExpectedImprovement,
+    LowerConfidenceBound,
+    ProbabilityOfImprovement,
+    make_acquisition,
+)
+from repro.bo.gp import GaussianProcess
+from repro.bo.kernels import Matern
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def fitted_gp(rng):
+    x = np.linspace(0, 1, 12)[:, None]
+    y = (x[:, 0] - 0.6) ** 2  # minimum at 0.6
+    return GaussianProcess(kernel=Matern(length_scale=0.3), noise=1e-6).fit(x, y)
+
+
+class TestExpectedImprovement:
+    def test_non_negative_everywhere(self, fitted_gp, rng):
+        ei = ExpectedImprovement()
+        scores = ei(fitted_gp, rng.uniform(-1, 2, size=(50, 1)), best_y=0.05)
+        assert np.all(scores >= 0)
+
+    def test_prefers_region_near_minimum(self, fitted_gp):
+        ei = ExpectedImprovement(xi=0.0)
+        candidates = np.array([[0.6], [0.05]])
+        scores = ei(fitted_gp, candidates, best_y=0.1)
+        assert scores[0] > scores[1]
+
+    def test_zero_when_no_improvement_possible(self, fitted_gp):
+        """With an incumbent far below anything achievable, EI ≈ 0."""
+        ei = ExpectedImprovement()
+        scores = ei(fitted_gp, np.array([[0.6]]), best_y=-10.0)
+        assert scores[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_higher_uncertainty_raises_ei_at_equal_mean(self, rng):
+        x = np.array([[0.0], [1.0]])
+        gp = GaussianProcess(kernel=Matern(length_scale=0.2), noise=1e-6)
+        gp.fit(x, np.array([1.0, 1.0]))
+        ei = ExpectedImprovement(xi=0.0)
+        # Midpoint has the same posterior mean but larger std than a
+        # training point.
+        scores = ei(gp, np.array([[0.5], [0.0]]), best_y=1.0)
+        assert scores[0] > scores[1]
+
+    def test_negative_xi_raises(self):
+        with pytest.raises(ConfigurationError):
+            ExpectedImprovement(xi=-0.1)
+
+
+class TestProbabilityOfImprovement:
+    def test_bounded_in_unit_interval(self, fitted_gp, rng):
+        pi = ProbabilityOfImprovement()
+        scores = pi(fitted_gp, rng.uniform(-1, 2, size=(40, 1)), best_y=0.1)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_more_conservative_than_ei_on_exploration(self, fitted_gp):
+        """PI under-scores a high-variance, slightly-worse-mean point
+        relative to EI — the paper's reason to discard it (§IV-C)."""
+        pi = ProbabilityOfImprovement(xi=0.0)
+        ei = ExpectedImprovement(xi=0.0)
+        explore, exploit = np.array([[3.0]]), np.array([[0.6]])
+        pi_ratio = pi(fitted_gp, explore, 0.02)[0] / max(
+            pi(fitted_gp, exploit, 0.02)[0], 1e-12
+        )
+        ei_ratio = ei(fitted_gp, explore, 0.02)[0] / max(
+            ei(fitted_gp, exploit, 0.02)[0], 1e-12
+        )
+        assert pi_ratio <= ei_ratio
+
+
+class TestLowerConfidenceBound:
+    def test_kappa_zero_is_negated_mean(self, fitted_gp, rng):
+        lcb = LowerConfidenceBound(kappa=0.0)
+        x = rng.uniform(0, 1, size=(10, 1))
+        assert np.allclose(lcb(fitted_gp, x, 0.0), -fitted_gp.predict(x).mean)
+
+    def test_larger_kappa_favors_uncertain_points(self, fitted_gp):
+        far = np.array([[5.0]])  # high variance
+        near = np.array([[0.6]])  # low variance, good mean
+        tame = LowerConfidenceBound(kappa=0.1)
+        bold = LowerConfidenceBound(kappa=10.0)
+        assert tame(fitted_gp, near, 0)[0] > tame(fitted_gp, far, 0)[0]
+        assert bold(fitted_gp, far, 0)[0] > bold(fitted_gp, near, 0)[0]
+
+    def test_negative_kappa_raises(self):
+        with pytest.raises(ConfigurationError):
+            LowerConfidenceBound(kappa=-1.0)
+
+
+class TestMakeAcquisition:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("ei", ExpectedImprovement),
+            ("pi", ProbabilityOfImprovement),
+            ("lcb", LowerConfidenceBound),
+            ("EI", ExpectedImprovement),
+        ],
+    )
+    def test_factory(self, name, cls):
+        assert isinstance(make_acquisition(name), cls)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown acquisition"):
+            make_acquisition("ucb")

@@ -1,0 +1,167 @@
+"""Unit tests for repro.bo.optimizer (the ask/tell loop)."""
+
+import numpy as np
+import pytest
+
+from repro.bo.acquisition import LowerConfidenceBound
+from repro.bo.optimizer import BayesianOptimizer, Observation, OptimizerState
+from repro.bo.space import BoxSpace, HBOSpace
+from repro.errors import ConfigurationError
+
+
+def _quadratic(space):
+    """Cost with the minimum at c=[0.6,0.1,0.3], x=0.8."""
+
+    def fn(z):
+        point = space.split(z)
+        target = np.array([0.6, 0.1, 0.3])
+        return float(
+            np.sum((point.proportions - target) ** 2)
+            + (point.triangle_ratio - 0.8) ** 2
+        )
+
+    return fn
+
+
+class TestObservation:
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ConfigurationError):
+            Observation(z=np.array([np.nan, 1.0]), cost=0.0)
+        with pytest.raises(ConfigurationError):
+            Observation(z=np.array([0.0, 1.0]), cost=float("inf"))
+
+
+class TestOptimizerState:
+    def test_best_and_trajectory(self):
+        state = OptimizerState()
+        for i, cost in enumerate([3.0, 1.0, 2.0]):
+            state.observations.append(Observation(z=np.array([float(i)]), cost=cost))
+        assert state.best().cost == 1.0
+        assert np.allclose(state.best_cost_trajectory(), [3.0, 1.0, 1.0])
+
+    def test_best_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            OptimizerState().best()
+
+    def test_consecutive_distances(self):
+        state = OptimizerState()
+        state.proposals = [np.array([0.0, 0.0]), np.array([3.0, 4.0])]
+        assert np.allclose(state.consecutive_distances(), [5.0])
+
+
+class TestAskTell:
+    def test_initial_phase_length(self, rng):
+        space = HBOSpace(3)
+        opt = BayesianOptimizer(space, n_initial=5, seed=0)
+        for i in range(5):
+            assert opt.in_initial_phase
+            z = opt.ask()
+            opt.tell(z, 1.0 - 0.1 * i)
+        assert not opt.in_initial_phase
+
+    def test_double_ask_raises(self):
+        opt = BayesianOptimizer(HBOSpace(3), seed=0)
+        opt.ask()
+        with pytest.raises(ConfigurationError, match="ask"):
+            opt.ask()
+
+    def test_proposals_always_feasible(self):
+        space = HBOSpace(3, r_min=0.2)
+        opt = BayesianOptimizer(space, n_initial=3, n_candidates=64, seed=1)
+        fn = _quadratic(space)
+        for _ in range(12):
+            z = opt.ask()
+            assert space.contains(z, tol=1e-6)
+            opt.tell(z, fn(z))
+
+    def test_tell_projects_slightly_infeasible_points(self):
+        space = HBOSpace(3)
+        opt = BayesianOptimizer(space, seed=0)
+        opt.ask()
+        z_bad = np.array([0.5, 0.5, 0.1, 0.5])  # sums to 1.1
+        opt.tell(z_bad, 1.0)
+        assert space.contains(opt.state.observations[-1].z, tol=1e-6)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            BayesianOptimizer(HBOSpace(3), n_initial=0)
+        with pytest.raises(ConfigurationError):
+            BayesianOptimizer(HBOSpace(3), n_candidates=0)
+        with pytest.raises(ConfigurationError):
+            BayesianOptimizer(HBOSpace(3), n_local=-1)
+
+
+class TestMinimize:
+    def test_beats_random_search_on_quadratic(self):
+        space = HBOSpace(3, r_min=0.1)
+        fn = _quadratic(space)
+        opt = BayesianOptimizer(space, n_initial=5, seed=42)
+        best = opt.minimize(fn, 30)
+        # Pure random baseline with the same budget.
+        random_best = min(
+            fn(z) for z in space.sample(np.random.default_rng(42), 30)
+        )
+        assert best.cost <= random_best
+
+    def test_converges_near_optimum(self):
+        space = HBOSpace(3, r_min=0.1)
+        opt = BayesianOptimizer(space, n_initial=5, seed=7)
+        best = opt.minimize(_quadratic(space), 40)
+        assert best.cost < 0.02
+
+    def test_trajectory_monotone_nonincreasing(self):
+        space = HBOSpace(2)
+        opt = BayesianOptimizer(space, seed=3)
+        opt.minimize(_quadratic_2d(space), 15)
+        trajectory = opt.state.best_cost_trajectory()
+        assert np.all(np.diff(trajectory) <= 1e-12)
+
+    def test_noisy_objective_still_improves(self):
+        space = HBOSpace(3, r_min=0.1)
+        fn = _quadratic(space)
+        gen = np.random.default_rng(0)
+        opt = BayesianOptimizer(space, n_initial=5, noise=1e-2, seed=11)
+        best = opt.minimize(lambda z: fn(z) + gen.normal(0, 0.02), 30)
+        assert best.cost < 0.3
+
+    def test_works_with_plain_box_space(self):
+        space = BoxSpace([(-2.0, 2.0), (-2.0, 2.0)])
+        opt = BayesianOptimizer(space, n_initial=4, seed=5)
+        best = opt.minimize(lambda z: float(np.sum(z**2)), 25)
+        assert best.cost < 0.1
+
+    def test_alternative_acquisition(self):
+        space = HBOSpace(3)
+        opt = BayesianOptimizer(
+            space, acquisition=LowerConfidenceBound(kappa=2.0), seed=9
+        )
+        best = opt.minimize(_quadratic(space), 25)
+        assert best.cost < 0.1
+
+    def test_constant_objective_does_not_crash(self):
+        """Degenerate (zero-information) costs must fall back gracefully."""
+        space = HBOSpace(3)
+        opt = BayesianOptimizer(space, n_initial=3, seed=2)
+        best = opt.minimize(lambda z: 1.0, 12)
+        assert best.cost == 1.0
+
+    def test_zero_iterations_raises(self):
+        with pytest.raises(ConfigurationError):
+            BayesianOptimizer(HBOSpace(2), seed=0).minimize(lambda z: 0.0, 0)
+
+    def test_seeded_runs_reproducible(self):
+        space = HBOSpace(3)
+        fn = _quadratic(space)
+        runs = [
+            BayesianOptimizer(space, seed=123).minimize(fn, 15).cost
+            for _ in range(2)
+        ]
+        assert runs[0] == pytest.approx(runs[1])
+
+
+def _quadratic_2d(space):
+    def fn(z):
+        point = space.split(z)
+        return float((point.proportions[0] - 0.5) ** 2 + point.triangle_ratio**2)
+
+    return fn

@@ -1,0 +1,137 @@
+"""Unit tests for repro.bo.space (Constraints 8-10 of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.bo.space import BoxSpace, HBOSpace, SimplexSpace
+from repro.errors import SearchSpaceError
+
+
+class TestSimplexSpace:
+    def test_samples_live_on_simplex(self, rng):
+        space = SimplexSpace(4)
+        samples = space.sample(rng, size=200)
+        assert samples.shape == (200, 4)
+        assert np.allclose(samples.sum(axis=1), 1.0)
+        assert np.all(samples >= 0)
+
+    def test_contains(self):
+        space = SimplexSpace(3)
+        assert space.contains(np.array([0.2, 0.3, 0.5]))
+        assert not space.contains(np.array([0.5, 0.5, 0.5]))  # sums to 1.5
+        assert not space.contains(np.array([1.2, -0.2, 0.0]))
+        assert not space.contains(np.array([0.5, 0.5]))  # wrong dim
+
+    def test_projection_is_identity_on_feasible_points(self):
+        space = SimplexSpace(3)
+        c = np.array([0.1, 0.6, 0.3])
+        assert np.allclose(space.project(c), c)
+
+    def test_projection_produces_feasible_point(self, rng):
+        space = SimplexSpace(5)
+        for _ in range(50):
+            raw = rng.normal(scale=3.0, size=5)
+            projected = space.project(raw)
+            assert space.contains(projected)
+
+    def test_projection_is_euclidean_nearest(self, rng):
+        """The projection must beat random feasible points in distance."""
+        space = SimplexSpace(3)
+        raw = np.array([0.9, 0.9, -0.5])
+        projected = space.project(raw)
+        others = space.sample(rng, 500)
+        proj_dist = np.linalg.norm(raw - projected)
+        other_dists = np.linalg.norm(others - raw, axis=1)
+        assert proj_dist <= other_dists.min() + 1e-9
+
+    def test_project_nonfinite_raises(self):
+        with pytest.raises(SearchSpaceError):
+            SimplexSpace(2).project(np.array([np.inf, 0.0]))
+
+    def test_perturb_stays_on_simplex(self, rng):
+        space = SimplexSpace(4)
+        c = np.array([0.25, 0.25, 0.25, 0.25])
+        for scale in (0.01, 0.5, 5.0):
+            assert space.contains(space.perturb(c, scale, rng))
+
+    def test_single_coordinate_simplex(self, rng):
+        space = SimplexSpace(1)
+        assert np.allclose(space.sample(rng, 3), 1.0)
+        assert np.allclose(space.project(np.array([42.0])), 1.0)
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(SearchSpaceError):
+            SimplexSpace(0)
+
+
+class TestBoxSpace:
+    def test_samples_in_bounds(self, rng):
+        space = BoxSpace([(0.1, 1.0), (-2.0, 2.0)])
+        samples = space.sample(rng, 100)
+        assert np.all(samples[:, 0] >= 0.1) and np.all(samples[:, 0] <= 1.0)
+        assert np.all(samples[:, 1] >= -2.0) and np.all(samples[:, 1] <= 2.0)
+
+    def test_project_clips(self):
+        space = BoxSpace([(0.0, 1.0)])
+        assert space.project(np.array([1.7]))[0] == pytest.approx(1.0)
+        assert space.project(np.array([-0.4]))[0] == pytest.approx(0.0)
+
+    def test_inverted_bounds_raise(self):
+        with pytest.raises(SearchSpaceError):
+            BoxSpace([(1.0, 0.0)])
+
+    def test_perturb_stays_inside(self, rng):
+        space = BoxSpace([(0.2, 0.8)])
+        for _ in range(20):
+            assert space.contains(space.perturb(np.array([0.5]), 2.0, rng))
+
+
+class TestHBOSpace:
+    def test_dim_and_split_join_roundtrip(self):
+        space = HBOSpace(3, r_min=0.1)
+        assert space.dim == 4
+        z = np.array([0.2, 0.3, 0.5, 0.7])
+        point = space.split(z)
+        assert np.allclose(point.proportions, [0.2, 0.3, 0.5])
+        assert point.triangle_ratio == pytest.approx(0.7)
+        assert np.allclose(space.join(point.proportions, point.triangle_ratio), z)
+        assert np.allclose(point.as_vector(), z)
+
+    def test_samples_satisfy_constraints_8_to_10(self, rng):
+        space = HBOSpace(3, r_min=0.25)
+        samples = space.sample(rng, 300)
+        c, x = samples[:, :3], samples[:, 3]
+        assert np.allclose(c.sum(axis=1), 1.0)  # Constraint 9
+        assert np.all((c >= 0) & (c <= 1))  # Constraint 8
+        assert np.all((x >= 0.25) & (x <= 1.0))  # Constraint 10
+
+    def test_project_fixes_both_parts(self):
+        space = HBOSpace(3, r_min=0.1)
+        z = space.project(np.array([2.0, -1.0, 0.5, 7.0]))
+        assert space.contains(z)
+        assert z[3] == pytest.approx(1.0)
+
+    def test_contains_rejects_bad_ratio(self):
+        space = HBOSpace(2, r_min=0.3)
+        assert not space.contains(np.array([0.5, 0.5, 0.1]))
+        assert space.contains(np.array([0.5, 0.5, 0.3]))
+
+    def test_perturb_feasible(self, rng):
+        space = HBOSpace(3, r_min=0.1)
+        z = space.sample(rng)[0]
+        for scale in (0.05, 1.0):
+            assert space.contains(space.perturb(z, scale, rng))
+
+    def test_invalid_r_min_raises(self):
+        with pytest.raises(SearchSpaceError):
+            HBOSpace(3, r_min=1.0)
+        with pytest.raises(SearchSpaceError):
+            HBOSpace(3, r_min=-0.1)
+
+    def test_split_wrong_length_raises(self):
+        with pytest.raises(SearchSpaceError):
+            HBOSpace(3).split(np.zeros(3))
+
+    def test_join_wrong_length_raises(self):
+        with pytest.raises(SearchSpaceError):
+            HBOSpace(3).join(np.array([0.5, 0.5]), 0.5)

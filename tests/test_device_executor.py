@@ -1,0 +1,167 @@
+"""Unit tests for repro.device.executor and repro.device.thermal."""
+
+import numpy as np
+import pytest
+
+from repro.device.contention import SystemLoad
+from repro.device.executor import DeviceSimulator, LatencySample
+from repro.device.profiles import GALAXY_S22, get_profile
+from repro.device.resources import Resource
+from repro.device.soc import galaxy_s22_soc
+from repro.device.thermal import ThermalModel
+from repro.errors import ConfigurationError, DeviceError, IncompatibleDelegateError
+
+
+@pytest.fixture
+def sim():
+    return DeviceSimulator(galaxy_s22_soc(), noise_sigma=0.0, seed=0)
+
+
+@pytest.fixture
+def deeplab():
+    return get_profile(GALAXY_S22, "deeplabv3")
+
+
+class TestTaskManagement:
+    def test_add_defaults_to_affinity(self, sim, deeplab):
+        sim.add_task("t", deeplab)
+        assert sim.allocation["t"] is Resource.NNAPI  # deeplab's S22 affinity
+
+    def test_add_duplicate_id_rejected(self, sim, deeplab):
+        sim.add_task("t", deeplab)
+        with pytest.raises(DeviceError, match="already registered"):
+            sim.add_task("t", deeplab)
+
+    def test_remove(self, sim, deeplab):
+        sim.add_task("t", deeplab)
+        sim.remove_task("t")
+        assert sim.task_ids == ()
+        with pytest.raises(DeviceError):
+            sim.remove_task("t")
+
+    def test_incompatible_add_rejected(self, sim):
+        profile = get_profile(GALAXY_S22, "efficientdet-lite")  # no NNAPI
+        with pytest.raises(IncompatibleDelegateError):
+            sim.add_task("t", profile, Resource.NNAPI)
+
+    def test_profile_of_unknown_raises(self, sim):
+        with pytest.raises(DeviceError):
+            sim.profile_of("ghost")
+
+
+class TestAllocation:
+    def test_set_allocation_moves_task(self, sim, deeplab):
+        sim.add_task("t", deeplab, Resource.NNAPI)
+        sim.set_allocation("t", Resource.CPU)
+        assert sim.allocation["t"] is Resource.CPU
+
+    def test_apply_allocation_full_map_required(self, sim, deeplab):
+        sim.add_task("a", deeplab)
+        sim.add_task("b", deeplab)
+        with pytest.raises(DeviceError, match="mismatch"):
+            sim.apply_allocation({"a": Resource.CPU})
+        with pytest.raises(DeviceError, match="mismatch"):
+            sim.apply_allocation(
+                {"a": Resource.CPU, "b": Resource.CPU, "ghost": Resource.CPU}
+            )
+        sim.apply_allocation({"a": Resource.CPU, "b": Resource.NNAPI})
+        assert sim.allocation == {"a": Resource.CPU, "b": Resource.NNAPI}
+
+    def test_allocation_returns_copy(self, sim, deeplab):
+        sim.add_task("t", deeplab)
+        snapshot = sim.allocation
+        snapshot["t"] = Resource.CPU
+        assert sim.allocation["t"] is Resource.NNAPI
+
+
+class TestMeasurement:
+    def test_noiseless_samples_equal_steady_state(self, sim, deeplab):
+        sim.add_task("t", deeplab)
+        steady = sim.steady_state_latencies()["t"]
+        for sample in sim.sample_latencies():
+            assert isinstance(sample, LatencySample)
+            assert sample.latency_ms == pytest.approx(steady)
+
+    def test_noise_is_multiplicative_and_centered(self, deeplab):
+        sim = DeviceSimulator(galaxy_s22_soc(), noise_sigma=0.05, seed=42)
+        sim.add_task("t", deeplab)
+        steady = sim.steady_state_latencies()["t"]
+        measured = sim.measure_period(n_samples=400)["t"]
+        assert measured == pytest.approx(steady, rel=0.02)
+
+    def test_measure_period_validates_samples(self, sim, deeplab):
+        sim.add_task("t", deeplab)
+        with pytest.raises(DeviceError):
+            sim.measure_period(n_samples=0)
+
+    def test_load_changes_measured_latency(self, sim, deeplab):
+        sim.add_task("t", deeplab, Resource.NNAPI)
+        quiet = sim.steady_state_latencies()["t"]
+        sim.set_load(
+            SystemLoad(rendered_triangles=700_000, n_objects=8,
+                       submitted_triangles=1_400_000)
+        )
+        assert sim.steady_state_latencies()["t"] > quiet
+
+    def test_isolation_latency_lookup(self, sim, deeplab):
+        sim.add_task("t", deeplab)
+        assert sim.isolation_latency("t", Resource.NNAPI) == pytest.approx(27.0)
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(DeviceError):
+            DeviceSimulator(galaxy_s22_soc(), noise_sigma=-0.1)
+
+    def test_seeded_noise_reproducible(self, deeplab):
+        def run():
+            sim = DeviceSimulator(galaxy_s22_soc(), noise_sigma=0.05, seed=9)
+            sim.add_task("t", deeplab)
+            return sim.measure_period(5)["t"]
+
+        assert run() == pytest.approx(run())
+
+
+class TestThermal:
+    def test_temperature_rises_under_load(self):
+        thermal = ThermalModel()
+        start = thermal.temperature_c
+        for _ in range(100):
+            thermal.step(1.0)
+        assert thermal.temperature_c > start
+        assert thermal.temperature_c <= thermal.ambient_c + thermal.max_heat_c + 1e-6
+
+    def test_throttle_kicks_in_above_threshold(self):
+        thermal = ThermalModel(throttle_start_c=45.0, throttle_slope=0.02)
+        assert thermal.throttle_factor() == 1.0
+        thermal.temperature_c = 50.0
+        assert thermal.throttle_factor() == pytest.approx(1.1)
+
+    def test_reset(self):
+        thermal = ThermalModel()
+        thermal.step(1.0)
+        thermal.reset()
+        assert thermal.temperature_c == thermal.ambient_c
+
+    def test_invalid_utilization_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThermalModel().step(1.5)
+
+    def test_thermal_inflates_simulator_latencies(self, deeplab):
+        thermal = ThermalModel(
+            ambient_c=44.0, max_heat_c=30.0, time_constant_steps=2.0,
+            throttle_start_c=45.0, throttle_slope=0.05,
+        )
+        sim = DeviceSimulator(
+            galaxy_s22_soc(), noise_sigma=0.0, thermal=thermal, seed=0
+        )
+        sim.add_task("t", deeplab)
+        cold = sim.steady_state_latencies()["t"]
+        for _ in range(50):
+            sim.sample_latencies()  # heats the SoC
+        hot = sim.steady_state_latencies()["t"]
+        assert hot > cold
+
+    def test_invalid_thermal_params(self):
+        with pytest.raises(ConfigurationError):
+            ThermalModel(time_constant_steps=0)
+        with pytest.raises(ConfigurationError):
+            ThermalModel(throttle_slope=-0.1)

@@ -1,0 +1,111 @@
+"""Unit tests for repro.device.profiles (the Table I data)."""
+
+import pytest
+
+from repro.device.profiles import (
+    GALAXY_S22,
+    PIXEL7,
+    canonical_model_name,
+    device_names,
+    get_profile,
+    model_names,
+)
+from repro.device.resources import Resource
+from repro.errors import UnknownModelError
+
+# Spot checks straight out of the paper's Table I.
+TABLE1_SPOT_CHECKS = [
+    (GALAXY_S22, "deeplabv3", Resource.GPU_DELEGATE, 45.0),
+    (GALAXY_S22, "deeplabv3", Resource.NNAPI, 27.0),
+    (GALAXY_S22, "deeplabv3", Resource.CPU, 46.0),
+    (GALAXY_S22, "inception-v1-q", Resource.NNAPI, 8.0),
+    (GALAXY_S22, "model-metadata", Resource.GPU_DELEGATE, 12.7),
+    (PIXEL7, "deconv-munet", Resource.GPU_DELEGATE, 17.9),
+    (PIXEL7, "deeplabv3", Resource.CPU, 110.1),
+    (PIXEL7, "mobilenetDetv1", Resource.NNAPI, 18.1),
+    (PIXEL7, "mobilenet-v1", Resource.NNAPI, 10.2),
+    (PIXEL7, "model-metadata", Resource.NNAPI, 40.7),
+    (PIXEL7, "efficientclass-lite0", Resource.GPU_DELEGATE, 43.37),
+]
+
+# Table I "NA" cells.
+NA_CELLS = [
+    (GALAXY_S22, "efficientdet-lite", Resource.NNAPI),
+    (PIXEL7, "deconv-munet", Resource.NNAPI),
+    (PIXEL7, "deeplabv3", Resource.NNAPI),
+    (PIXEL7, "efficientdet-lite", Resource.NNAPI),
+]
+
+
+class TestTable1Data:
+    @pytest.mark.parametrize("device,model,resource,expected", TABLE1_SPOT_CHECKS)
+    def test_latencies_match_paper(self, device, model, resource, expected):
+        assert get_profile(device, model).latency(resource) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("device,model,resource", NA_CELLS)
+    def test_na_cells_unsupported(self, device, model, resource):
+        profile = get_profile(device, model)
+        assert not profile.supports(resource)
+        with pytest.raises(UnknownModelError, match="NA"):
+            profile.latency(resource)
+
+    def test_both_devices_cover_same_models(self):
+        assert set(model_names(PIXEL7)) == set(model_names(GALAXY_S22))
+
+    def test_device_names(self):
+        assert set(device_names()) == {PIXEL7, GALAXY_S22}
+
+
+class TestAffinity:
+    def test_deeplab_s22_prefers_nnapi(self):
+        res, lat = get_profile(GALAXY_S22, "deeplabv3").best_resource()
+        assert res is Resource.NNAPI
+        assert lat == pytest.approx(27.0)
+
+    def test_model_metadata_prefers_gpu_on_both(self):
+        for device in (GALAXY_S22, PIXEL7):
+            res, _ = get_profile(device, "model-metadata").best_resource()
+            assert res is Resource.GPU_DELEGATE
+
+    def test_cf1_affinity_split_matches_section_vb(self):
+        """§V-B: CF1 has three GPU-preferring and three NNAPI-preferring
+        tasks on the Pixel 7 (counting both model-metadata instances)."""
+        gpu_pref = [
+            m
+            for m in ("mnist", "model-metadata")
+            if get_profile(PIXEL7, m).best_resource()[0] is Resource.GPU_DELEGATE
+        ]
+        nnapi_pref = [
+            m
+            for m in ("mobilenetDetv1", "mobilenet-v1", "efficientclass-lite0")
+            if get_profile(PIXEL7, m).best_resource()[0] is Resource.NNAPI
+        ]
+        assert gpu_pref == ["mnist", "model-metadata"]
+        assert len(nnapi_pref) == 3
+
+
+class TestValidation:
+    def test_unknown_device_raises(self):
+        with pytest.raises(UnknownModelError, match="unknown device"):
+            get_profile("iPhone 15", "mnist")
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(UnknownModelError, match="unknown model"):
+            get_profile(PIXEL7, "resnet152")
+
+    def test_paper_aliases_resolve(self):
+        assert canonical_model_name("efficient-litev0") == "efficientclass-lite0"
+        assert canonical_model_name("mobilenetv1") == "mobilenet-v1"
+        assert get_profile(PIXEL7, "mobilenetv1").model == "mobilenet-v1"
+
+    def test_npu_coverage_in_range(self):
+        for device in device_names():
+            for model in model_names(device):
+                assert 0.0 <= get_profile(device, model).npu_coverage <= 1.0
+
+    def test_demands_positive(self):
+        for device in device_names():
+            for model in model_names(device):
+                profile = get_profile(device, model)
+                assert profile.cpu_demand > 0
+                assert profile.gpu_demand > 0

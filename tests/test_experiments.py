@@ -1,0 +1,166 @@
+"""Smoke + shape tests for the experiment drivers (reduced budgets).
+
+Each paper-artifact driver must run end-to-end and produce the structure
+the benches render. Full-budget runs live in ``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.controller import HBOConfig
+from repro.experiments import fig2, fig4, fig5, fig6, fig7, fig8, fig9, table1
+from repro.experiments.report import format_kv, format_series, format_table, sparkline
+from repro.errors import ExperimentError
+
+FAST = HBOConfig(n_initial=5, n_iterations=10)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["x", 1], ["yy", 2.5]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "yy" in text and "2.500" in text
+
+    def test_format_table_row_width_mismatch(self):
+        with pytest.raises(ExperimentError):
+            format_table(["a"], [["x", "extra"]])
+
+    def test_sparkline_range(self):
+        assert len(sparkline([1, 2, 3])) == 3
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+        assert sparkline([]) == ""
+
+    def test_format_series_thins_long_input(self):
+        text = format_series("s", list(range(100)), max_values=10)
+        assert "every" in text
+
+    def test_format_kv(self):
+        text = format_kv("Title", [["key", 1.5], ["other", "v"]])
+        assert "Title" in text and "key" in text
+
+
+class TestTable1:
+    def test_reproduces_profiles_within_noise(self):
+        result = table1.run_table1(seed=0, samples=25)
+        assert result.max_relative_error() < 0.03
+        assert len(result.rows) == 18  # 9 models × 2 devices
+
+    def test_render_contains_na_cells(self):
+        text = table1.render(table1.run_table1(seed=0, samples=5))
+        assert "NA" in text
+        assert "Pixel 7" in text and "S22" in text
+
+
+class TestFig2:
+    def test_fig2b_narrative_arcs(self):
+        run = fig2.run_fig2b(seed=0)
+        # Objects arriving (t≈180) must spike latency vs the pre-object
+        # steady state (t≈100-115), and the final double-CPU phase must be
+        # better for NNAPI residents than the object-peak.
+        pre_objects = run.mean_at(100, 115)
+        with_objects = run.mean_at(182, 198)
+        assert with_objects > 1.2 * pre_objects
+        final_nnapi = np.nanmean(run.series("deeplabv3_1")[-4:])
+        peak_nnapi = np.nanmean(run.series("deeplabv3_1")[37:40])
+        assert final_nnapi < peak_nnapi
+
+    def test_fig2b_cpu_pair_much_worse_at_end(self):
+        run = fig2.run_fig2b(seed=0)
+        cpu_final = np.nanmean(run.series("deeplabv3_4")[-3:])
+        nnapi_final = np.nanmean(run.series("deeplabv3_1")[-3:])
+        assert cpu_final > 1.1 * nnapi_final
+
+    def test_all_runs_render(self):
+        runs = [fig2.run_fig2a(0), fig2.run_fig2c(0)]
+        text = fig2.render(runs)
+        assert "actions" in text
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig4.run_fig4(seed=5, config=FAST)
+
+    def test_covers_four_scenarios(self, result):
+        assert set(result.keys()) == {"SC1-CF1", "SC2-CF1", "SC1-CF2", "SC2-CF2"}
+
+    def test_sc1_decimates_more_than_sc2(self, result):
+        # CF2 gives the cleaner signal (3 tasks, less allocation noise).
+        assert (
+            result.runs["SC1-CF2"].best_triangle_ratio
+            <= result.runs["SC2-CF2"].best_triangle_ratio + 0.1
+        )
+
+    def test_table3_has_ratio_row(self, result):
+        rows = result.allocation_table()
+        assert rows[-1][0] == "Triangle Count Ratio"
+        text = fig4.render(result)
+        assert "Table III" in text
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig5.run_fig5(seed=5, config=FAST)
+
+    def test_orderings(self, result):
+        assert result.epsilon_ratio("SMQ") > 1.0
+        assert result.epsilon_ratio("AllN") > result.epsilon_ratio("BNT") > 1.0
+
+    def test_sml_quality_below_hbo(self, result):
+        assert result.baselines["SML"].quality < result.hbo.best_quality
+
+    def test_render_contains_table4(self, result):
+        text = fig5.render(result)
+        assert "Table IV" in text and "AllN" in text
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6.run_fig6(seed=5, config=FAST)
+
+    def test_series_lengths_match_budget(self, result):
+        n = FAST.total_evaluations + 1  # budget + incumbent seeding
+        assert len(result.best_cost_trajectory) == n
+        assert len(result.qualities) == n
+        assert len(result.consecutive_distances) == n - 1
+
+    def test_best_index_consistent(self, result):
+        costs = [it.cost for it in result.hbo.result.iterations]
+        assert result.best_index == int(np.argmin(costs))
+
+    def test_smq_comparison_covers_all_tasks(self, result):
+        assert set(result.smq_latencies_ms) == set(result.hbo_latencies_ms())
+        text = fig6.render(result)
+        assert "Fig. 6d" in text
+
+
+class TestFig7:
+    def test_runs_and_spread(self):
+        result = fig7.run_fig7(seed=5, config=FAST)
+        for key in ("SC1-CF2", "SC2-CF2"):
+            assert len(result.runs[key]) == fig7.N_RUNS
+            assert result.cost_spread(key) < 1.0
+        assert "run 6" in fig7.render(result)
+
+
+class TestFig8:
+    def test_event_policy_fewer_activations(self):
+        result = fig8.run_fig8(
+            seed=5, config=HBOConfig(n_initial=2, n_iterations=2),
+            periodic_interval_steps=15,
+        )
+        assert result.event_activations >= 1
+        assert result.periodic_activations > result.event_activations
+        assert "activation count" in fig8.render(result)
+
+
+class TestFig9:
+    def test_hbo_rated_at_least_as_high_as_sml(self):
+        result = fig9.run_fig9(seed=5, config=FAST)
+        assert result.mean("HBO/close") >= result.mean("SML/close")
+        assert result.improvement() >= 0.0
+        assert result.sml_ratio <= result.hbo_ratio + 0.05
+        assert "user study" in fig9.render(result)

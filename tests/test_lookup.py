@@ -1,0 +1,167 @@
+"""Unit + integration tests for the §VI lookup-table extension."""
+
+import pytest
+
+from repro.core.controller import HBOConfig, HBOController
+from repro.core.lookup import (
+    EnvironmentSignature,
+    LookupAwareController,
+    LookupTable,
+    StoredConfiguration,
+)
+from repro.device.resources import Resource
+from repro.errors import ConfigurationError
+from repro.sim.scenarios import build_system
+
+
+def _signature(tri=1_000_000, n=5, dist=1.5, tasks=("a", "b")):
+    return EnvironmentSignature(
+        total_max_triangles=tri,
+        n_objects=n,
+        mean_distance_m=dist,
+        taskset_key=tuple(tasks),
+    )
+
+
+def _entry(signature, ratio=0.7, reward=0.1):
+    return StoredConfiguration(
+        signature=signature,
+        allocation={"a": Resource.CPU, "b": Resource.NNAPI},
+        triangle_ratio=ratio,
+        reward=reward,
+    )
+
+
+class TestEnvironmentSignature:
+    def test_of_live_system(self, sc1cf1_system):
+        signature = EnvironmentSignature.of(sc1cf1_system)
+        assert signature.total_max_triangles == pytest.approx(1_186_743)
+        assert signature.n_objects == 9
+        assert signature.mean_distance_m > 0
+        assert len(signature.taskset_key) == 6
+
+    def test_distance_zero_for_identical(self):
+        assert _signature().distance_to(_signature()) == pytest.approx(0.0)
+
+    def test_distance_infinite_across_tasksets(self):
+        a = _signature(tasks=("a", "b"))
+        b = _signature(tasks=("a", "c"))
+        assert a.distance_to(b) == float("inf")
+
+    def test_distance_relative_in_triangles(self):
+        """A 10% triangle change scores the same at any absolute scale."""
+        small = _signature(tri=100_000).distance_to(_signature(tri=110_000))
+        large = _signature(tri=1_000_000).distance_to(_signature(tri=1_100_000))
+        assert small == pytest.approx(large, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            _signature(tri=-1)
+        with pytest.raises(ConfigurationError):
+            _signature(n=-1)
+
+
+class TestLookupTable:
+    def test_miss_then_hit(self):
+        table = LookupTable(similarity_threshold=0.15)
+        signature = _signature()
+        assert table.lookup(signature) is None
+        table.store(_entry(signature))
+        hit = table.lookup(signature)
+        assert hit is not None
+        assert hit.triangle_ratio == 0.7
+        assert table.hits == 1 and table.misses == 1
+        assert table.hit_rate == pytest.approx(0.5)
+
+    def test_near_signature_hits(self):
+        table = LookupTable(similarity_threshold=0.15)
+        table.store(_entry(_signature(tri=1_000_000)))
+        assert table.lookup(_signature(tri=1_050_000)) is not None  # 5% off
+
+    def test_far_signature_misses(self):
+        table = LookupTable(similarity_threshold=0.15)
+        table.store(_entry(_signature(n=5)))
+        assert table.lookup(_signature(n=9)) is None  # +4 objects
+
+    def test_near_duplicate_store_replaces(self):
+        table = LookupTable()
+        table.store(_entry(_signature(), ratio=0.7))
+        table.store(_entry(_signature(), ratio=0.4))
+        assert len(table) == 1
+        assert table.lookup(_signature()).triangle_ratio == 0.4
+
+    def test_lru_eviction_keeps_hot_entries(self):
+        table = LookupTable(max_entries=2, similarity_threshold=0.05)
+        hot = _signature(n=1)
+        cold = _signature(n=10)
+        table.store(_entry(hot))
+        table.store(_entry(cold))
+        table.lookup(hot)  # refresh
+        table.store(_entry(_signature(n=20)))  # evicts the cold entry
+        assert table.lookup(hot) is not None
+        assert table.lookup(cold) is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LookupTable(max_entries=0)
+        with pytest.raises(ConfigurationError):
+            LookupTable(similarity_threshold=0.0)
+
+
+class TestLookupAwareController:
+    def test_second_visit_to_same_environment_hits(self, fast_config):
+        system = build_system("SC2", "CF2", seed=5, noise_sigma=0.02)
+        controller = LookupAwareController(
+            HBOController(system, fast_config, seed=5)
+        )
+        first = controller.activate()
+        assert not first.from_table
+        assert first.run_result is not None
+
+        second = controller.activate()  # unchanged environment
+        assert second.from_table
+        assert second.entry is not None
+        # The stored configuration is live on the system.
+        assert system.device.allocation == dict(second.entry.allocation)
+
+    def test_changed_environment_misses(self, fast_config):
+        system = build_system("SC2", "CF2", seed=5, noise_sigma=0.02)
+        controller = LookupAwareController(
+            HBOController(system, fast_config, seed=5)
+        )
+        controller.activate()
+        # A heavy new object changes T^max by far more than the threshold.
+        from repro.ar.objects import object_by_name
+
+        system.scene.add("newcomer", object_by_name("bike"), position=(0, 0, 1.0))
+        system.refresh_load()
+        decision = controller.activate()
+        assert not decision.from_table
+        assert len(controller.table) == 2
+
+    def test_hit_is_much_cheaper_than_activation(self, fast_config):
+        """A table hit consumes one control period; a full activation
+        consumes the whole exploration budget."""
+        system = build_system("SC2", "CF2", seed=5, noise_sigma=0.02)
+        controller = LookupAwareController(
+            HBOController(system, fast_config, seed=5)
+        )
+        miss = controller.activate()
+        evaluations_on_miss = len(miss.run_result.iterations)
+        hit = controller.activate()
+        assert hit.run_result is None
+        assert evaluations_on_miss >= fast_config.total_evaluations
+
+    def test_hit_quality_close_to_fresh_activation(self, fast_config):
+        """The remembered configuration's reward should be close to what a
+        fresh activation achieves in the same environment."""
+        system = build_system("SC2", "CF2", seed=5, noise_sigma=0.02)
+        controller = LookupAwareController(
+            HBOController(system, fast_config, seed=5)
+        )
+        miss = controller.activate()
+        hit = controller.activate()
+        w = fast_config.w
+        assert hit.measurement.reward(w) == pytest.approx(
+            miss.measurement.reward(w), abs=0.3
+        )
