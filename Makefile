@@ -1,0 +1,32 @@
+# Convenience entries mirroring .github/workflows/ci.yml.
+# `make check` is the full pre-merge gate.
+
+PYTHON ?= python
+
+.PHONY: reprolint ruff mypy lint test check
+
+reprolint:
+	PYTHONPATH=tools $(PYTHON) -m reprolint src benchmarks examples
+
+# ruff/mypy come from `pip install -e .[dev]`; skip with a notice when the
+# container doesn't have them so `make lint` stays useful everywhere.
+ruff:
+	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null; then \
+		ruff check src tools benchmarks examples; \
+	else \
+		echo "ruff not installed (pip install -e .[dev]) — skipping"; \
+	fi
+
+mypy:
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy; \
+	else \
+		echo "mypy not installed (pip install -e .[dev]) — skipping"; \
+	fi
+
+lint: reprolint ruff mypy
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+check: lint test

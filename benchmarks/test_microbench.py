@@ -17,6 +17,7 @@ from repro.bo.gp import GaussianProcess
 from repro.bo.space import HBOSpace
 from repro.core.allocation import allocate_tasks, proportions_to_counts
 from repro.models.tasks import taskset_cf1
+from repro.rng import make_rng
 from repro.sim.scenarios import build_system
 
 
@@ -43,7 +44,7 @@ def test_measure_period(benchmark, system):
 def test_gp_fit_and_acquisition(benchmark):
     """Surrogate fit + EI maximization over 512 candidates (Line 1)."""
     space = HBOSpace(3, r_min=0.1)
-    rng = np.random.default_rng(0)
+    rng = make_rng(0)
     x = space.sample(rng, 20)
     y = np.sin(x[:, 0] * 3) + x[:, 3]
     acquisition = ExpectedImprovement()

@@ -21,6 +21,7 @@ from repro.device.profiles import StaticProfile
 from repro.device.resources import Processor, Resource
 from repro.device.soc import RenderCostModel, SoCSpec
 from repro.models.tasks import AITask, TaskSet
+from repro.rng import make_rng
 
 
 def build_budget_phone() -> SoCSpec:
@@ -72,7 +73,7 @@ def main() -> None:
     # 2. Custom assets: run the offline Eq. 1 training per object.
     print("Fitting degradation parameters from geometry (eAR-style)...")
     scene = Scene()
-    rng = np.random.default_rng(3)
+    rng = make_rng(3)
     for name, triangles in (
         ("statue", 220_000),
         ("fresco", 90_000),

@@ -56,6 +56,7 @@ from repro.errors import ReproError
 from repro.models import ModelZoo, TaskSet, taskset_cf1, taskset_cf2
 from repro.sim import MonitoringEngine
 from repro.sim.scenarios import build_system, fig8_event_script
+from repro.units import Ms, Seconds, ms_to_s, s_to_ms
 from repro.userstudy import RaterPanel
 
 __version__ = "1.0.0"
@@ -78,6 +79,7 @@ __all__ = [
     "Matern",
     "Measurement",
     "ModelZoo",
+    "Ms",
     "NetworkLink",
     "MonitoringEngine",
     "PeriodicPolicy",
@@ -85,6 +87,7 @@ __all__ = [
     "ReproError",
     "Resource",
     "Scene",
+    "Seconds",
     "StaticMatchLatencyBaseline",
     "StaticMatchQualityBaseline",
     "TaskSet",
@@ -95,7 +98,9 @@ __all__ = [
     "catalog_sc2",
     "fig8_event_script",
     "galaxy_s22_soc",
+    "ms_to_s",
     "pixel7_soc",
+    "s_to_ms",
     "taskset_cf1",
     "taskset_cf2",
 ]

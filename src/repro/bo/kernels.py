@@ -97,9 +97,9 @@ class Matern(Kernel):
 
     def __call__(self, x: np.ndarray, z: np.ndarray) -> np.ndarray:
         r = pairwise_distances(x, z) / self.length_scale
-        if self.nu == 0.5:
+        if math.isclose(self.nu, 0.5):
             k = np.exp(-r)
-        elif self.nu == 1.5:
+        elif math.isclose(self.nu, 1.5):
             s = math.sqrt(3.0) * r
             k = (1.0 + s) * np.exp(-s)
         else:  # nu == 2.5, Eq. 7 of the paper

@@ -16,7 +16,7 @@ steps would leave it).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -166,7 +166,9 @@ class BayesianOptimizer:
         """Lowest-cost observation so far."""
         return self.state.best()
 
-    def minimize(self, fn, n_iterations: int) -> Observation:
+    def minimize(
+        self, fn: Callable[[np.ndarray], float], n_iterations: int
+    ) -> Observation:
         """Convenience driver: run ``n_iterations`` ask/evaluate/tell rounds.
 
         ``fn`` maps a configuration vector to a scalar cost. Returns the

@@ -74,7 +74,11 @@ class SimplexSpace:
         rho_candidates = u + (1.0 - css) / np.arange(1, self.n + 1)
         rho = int(np.nonzero(rho_candidates > 0)[0][-1])
         theta = (css[rho] - 1.0) / (rho + 1)
-        return np.clip(v - theta, 0.0, None)
+        w = np.clip(v - theta, 0.0, None)
+        # For large-magnitude input, cancellation in ``css - 1`` can leave
+        # the sum off by ~1e-9; renormalize so Σw = 1 to machine precision
+        # (the support is already correct, so this is a tiny rescale).
+        return w / float(np.sum(w))
 
     def perturb(
         self, c: np.ndarray, scale: float, rng: SeedLike

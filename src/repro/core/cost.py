@@ -18,13 +18,14 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Mapping
 
 from repro.errors import ConfigurationError
+from repro.units import Ms
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.core.system import Measurement
 
 
 def normalized_average_latency(
-    measured_ms: Mapping[str, float], expected_ms: Mapping[str, float]
+    measured_ms: Mapping[str, Ms], expected_ms: Mapping[str, Ms]
 ) -> float:
     """Eq. 4: mean relative latency inflation over all AI tasks.
 

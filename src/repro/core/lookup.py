@@ -100,7 +100,9 @@ class LookupTable:
     back to stay warm.
     """
 
-    def __init__(self, max_entries: int = 32, similarity_threshold: float = 0.15):
+    def __init__(
+        self, max_entries: int = 32, similarity_threshold: float = 0.15
+    ) -> None:
         if max_entries < 1:
             raise ConfigurationError(f"max_entries must be >= 1, got {max_entries}")
         if similarity_threshold <= 0:

@@ -22,7 +22,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.bo.optimizer import BayesianOptimizer, Observation
+from repro.bo.optimizer import BayesianOptimizer, Observation, OptimizerState, SpaceLike
 from repro.errors import ConfigurationError
 from repro.rng import SeedLike, make_rng
 
@@ -89,11 +89,11 @@ class RemoteOptimizerProxy:
     # ------------------------------------------------- optimizer interface
 
     @property
-    def space(self):
+    def space(self) -> SpaceLike:
         return self._optimizer.space
 
     @property
-    def state(self):
+    def state(self) -> OptimizerState:
         return self._optimizer.state
 
     @property

@@ -42,6 +42,7 @@ from repro.device.profiles import StaticProfile
 from repro.device.resources import Processor, Resource
 from repro.device.soc import SoCSpec
 from repro.errors import DeviceError, IncompatibleDelegateError
+from repro.units import Ms
 
 
 @dataclass(frozen=True)
@@ -174,7 +175,7 @@ class ContentionModel:
         """Coordination-cost inflation under GPU congestion."""
         return 1.0 + self.soc.nnapi_comm_gpu_factor * max(0.0, gpu_slowdown - 1.0)
 
-    def task_latency(self, placement: TaskPlacement, state: ProcessorState) -> float:
+    def task_latency(self, placement: TaskPlacement, state: ProcessorState) -> Ms:
         """Steady-state latency (ms) of one placed task given system state."""
         profile = placement.profile
         iso = profile.latency(placement.resource)
@@ -192,7 +193,7 @@ class ContentionModel:
 
     def latencies(
         self, placements: Iterable[TaskPlacement], load: SystemLoad
-    ) -> Dict[str, float]:
+    ) -> Dict[str, Ms]:
         """Latency (ms) for every placed task under mutual contention."""
         placements = list(placements)
         ids = [p.task_id for p in placements]

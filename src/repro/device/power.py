@@ -17,7 +17,7 @@ configurations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Dict, Iterable, Mapping
 
 from repro.device.contention import ContentionModel, SystemLoad, TaskPlacement
 from repro.device.resources import Processor
@@ -71,7 +71,7 @@ class PowerModel:
     def utilizations(
         self,
         soc: SoCSpec,
-        placements,
+        placements: Iterable[TaskPlacement],
         load: SystemLoad,
     ) -> Dict[Processor, float]:
         """Per-processor utilization in [0, 1] from the contention state.
@@ -92,7 +92,7 @@ class PowerModel:
     def system_power_w(
         self,
         soc: SoCSpec,
-        placements,
+        placements: Iterable[TaskPlacement],
         load: SystemLoad,
     ) -> float:
         """Average system draw (W) under a placement set and render load."""
@@ -105,7 +105,7 @@ class PowerModel:
     def period_energy_j(
         self,
         soc: SoCSpec,
-        placements,
+        placements: Iterable[TaskPlacement],
         load: SystemLoad,
         period_s: float,
     ) -> float:

@@ -1,0 +1,40 @@
+"""Unit aliases and conversions for temporal quantities.
+
+The repo-wide convention (enforced by reprolint rule RL004) is that every
+temporal value carries its unit, either in the name (``latency_ms``,
+``period_s``) or in the annotation via these aliases:
+
+- :data:`Ms` — milliseconds. Per-task AI latencies, frame times, NNAPI
+  coordination costs (the paper's Table I and Eq. 4 operate in ms).
+- :data:`Seconds` — seconds. Simulated session time, control periods
+  (Fig. 2 / Fig. 8 axes are seconds).
+
+The aliases are plain ``float`` at runtime — they exist for reader and
+type-checker consumption, not dimensional analysis — so no call-site
+changes when a signature migrates to them. Convert explicitly at the
+boundary with :func:`ms_to_s` / :func:`s_to_ms` so the factor of 1000 is
+greppable instead of inlined.
+"""
+
+from __future__ import annotations
+
+#: Milliseconds. Annotation alias; plain ``float`` at runtime.
+Ms = float
+#: Seconds. Annotation alias; plain ``float`` at runtime.
+Seconds = float
+
+#: Milliseconds per second — the only place this constant should live.
+MS_PER_S: float = 1000.0
+
+
+def ms_to_s(value_ms: Ms) -> Seconds:
+    """Convert milliseconds to seconds."""
+    return value_ms / MS_PER_S
+
+
+def s_to_ms(value_s: Seconds) -> Ms:
+    """Convert seconds to milliseconds."""
+    return value_s * MS_PER_S
+
+
+__all__ = ["MS_PER_S", "Ms", "Seconds", "ms_to_s", "s_to_ms"]

@@ -1,0 +1,575 @@
+"""Self-tests for the reprolint static analyzer (tools/reprolint).
+
+Every rule RL001–RL005 is proven twice: once firing on a seeded-violation
+fixture, once silenced by its suppression comment. The suite also pins the
+engine behaviour (file-level suppression, rule selection, CLI exit codes)
+and — crucially — asserts the real ``src/`` tree is clean, so the gate the
+CI runs is also a test the suite runs.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TOOLS_DIR = REPO_ROOT / "tools"
+if str(TOOLS_DIR) not in sys.path:
+    sys.path.insert(0, str(TOOLS_DIR))
+
+from reprolint import ALL_RULES, lint_paths, lint_source, rules_by_id  # noqa: E402
+from reprolint.cli import main as reprolint_main  # noqa: E402
+from reprolint.engine import iter_python_files, parse_suppressions  # noqa: E402
+
+# Virtual paths that put fixtures in scope for each rule family.
+SRC_PATH = Path("src/repro/core/fixture.py")
+BO_PATH = Path("src/repro/bo/fixture.py")
+DEVICE_PATH = Path("src/repro/device/fixture.py")
+OUT_OF_SCOPE_PATH = Path("scripts/fixture.py")
+
+
+def lint(source: str, path: Path = SRC_PATH, select: "str | None" = None):
+    rules = ALL_RULES if select is None else [rules_by_id()[select]]
+    return lint_source(textwrap.dedent(source), path, rules)
+
+
+def rule_ids(violations) -> list:
+    return [v.rule_id for v in violations]
+
+
+# --------------------------------------------------------------- RL001
+
+
+class TestDeterminismRule:
+    def test_fires_on_default_rng(self):
+        violations = lint(
+            """\
+            import numpy as np
+
+            def jitter():
+                return np.random.default_rng().normal()
+            """,
+            select="RL001",
+        )
+        assert rule_ids(violations) == ["RL001"]
+        assert "repro.rng.make_rng" in violations[0].message
+
+    def test_fires_on_global_seed_and_wall_clock(self):
+        violations = lint(
+            """\
+            import numpy, time
+
+            def setup(s):
+                numpy.random.seed(s)
+                return time.time()
+            """,
+            select="RL001",
+        )
+        assert rule_ids(violations) == ["RL001", "RL001"]
+
+    def test_fires_on_from_imports(self):
+        violations = lint(
+            """\
+            from numpy.random import default_rng
+            from random import shuffle
+            from time import perf_counter
+            from datetime import datetime
+
+            def run(xs):
+                shuffle(xs)
+                gen = default_rng(0)
+                return perf_counter(), datetime.now(), gen
+            """,
+            select="RL001",
+        )
+        assert rule_ids(violations) == ["RL001"] * 4
+
+    def test_datetime_constructor_is_allowed(self):
+        violations = lint(
+            """\
+            from datetime import datetime
+
+            def stamp():
+                return datetime(2024, 1, 1)
+            """,
+            select="RL001",
+        )
+        assert violations == []
+
+    def test_stdlib_random_module_calls_fire(self):
+        violations = lint(
+            """\
+            import random
+
+            def draw():
+                return random.uniform(0.0, 1.0)
+            """,
+            select="RL001",
+        )
+        assert rule_ids(violations) == ["RL001"]
+
+    def test_suppression_comment_silences(self):
+        violations = lint(
+            """\
+            import numpy as np
+
+            def jitter():
+                return np.random.default_rng()  # reprolint: disable=RL001
+            """,
+            select="RL001",
+        )
+        assert violations == []
+
+    def test_exempt_in_rng_and_clock_modules(self):
+        source = """\
+            import numpy as np
+
+            def make():
+                return np.random.default_rng(0)
+            """
+        for name in ("rng.py", "clock.py"):
+            assert lint(source, Path(f"src/repro/{name}"), select="RL001") == []
+        assert rule_ids(lint(source, SRC_PATH, select="RL001")) == ["RL001"]
+
+    def test_generator_methods_are_fine(self):
+        violations = lint(
+            """\
+            from repro.rng import make_rng
+
+            def draw(seed):
+                gen = make_rng(seed)
+                return gen.normal(), gen.uniform(), gen.choice([1, 2])
+            """,
+            select="RL001",
+        )
+        assert violations == []
+
+
+# --------------------------------------------------------------- RL002
+
+
+class TestErrorHygieneRule:
+    def test_fires_on_bare_exception_and_runtime_error(self):
+        violations = lint(
+            """\
+            def f(x):
+                if x < 0:
+                    raise Exception("bad")
+                raise RuntimeError("worse")
+            """,
+            select="RL002",
+        )
+        assert rule_ids(violations) == ["RL002", "RL002"]
+
+    def test_fires_on_unknown_error_class(self):
+        violations = lint(
+            """\
+            from mylib import WeirdError
+
+            def f():
+                raise WeirdError("not ours")
+            """,
+            select="RL002",
+        )
+        assert rule_ids(violations) == ["RL002"]
+
+    def test_allows_repro_errors_and_builtins(self):
+        violations = lint(
+            """\
+            from repro.errors import ConfigurationError
+
+            def f(x):
+                if x is None:
+                    raise TypeError("x must not be None")
+                if x < 0:
+                    raise ValueError("x must be >= 0")
+                raise ConfigurationError(f"bad x: {x}")
+            """,
+            select="RL002",
+        )
+        assert violations == []
+
+    def test_allows_reraise_patterns(self):
+        violations = lint(
+            """\
+            def f():
+                try:
+                    g()
+                except ValueError as err:
+                    raise
+                except KeyError as err:
+                    raise err
+            """,
+            select="RL002",
+        )
+        assert violations == []
+
+    def test_errors_module_defining_hierarchy_is_clean(self):
+        violations = lint(
+            """\
+            class ReproError(Exception):
+                pass
+
+            class SubError(ReproError):
+                pass
+
+            def f():
+                raise SubError("fine: defined in-file on the hierarchy")
+            """,
+            Path("src/repro/errors.py"),
+            select="RL002",
+        )
+        assert violations == []
+
+    def test_out_of_scope_paths_ignored(self):
+        violations = lint(
+            "def f():\n    raise Exception('scripts can be sloppy')\n",
+            OUT_OF_SCOPE_PATH,
+            select="RL002",
+        )
+        assert violations == []
+
+    def test_suppression_comment_silences(self):
+        violations = lint(
+            """\
+            def f():
+                raise RuntimeError("known")  # reprolint: disable=RL002
+            """,
+            select="RL002",
+        )
+        assert violations == []
+
+
+# --------------------------------------------------------------- RL003
+
+
+class TestFloatEqualityRule:
+    def test_fires_on_float_literal_comparison(self):
+        violations = lint(
+            "def f(nu):\n    return nu == 0.5\n", BO_PATH, select="RL003"
+        )
+        assert rule_ids(violations) == ["RL003"]
+
+    def test_fires_on_division_result_comparison(self):
+        violations = lint(
+            "def f(a, b, c):\n    return a / b != c\n",
+            DEVICE_PATH,
+            select="RL003",
+        )
+        assert rule_ids(violations) == ["RL003"]
+
+    def test_int_comparisons_are_fine(self):
+        violations = lint(
+            "def f(n):\n    return n == 3 or n != 0\n", BO_PATH, select="RL003"
+        )
+        assert violations == []
+
+    def test_ordering_comparisons_are_fine(self):
+        violations = lint(
+            "def f(x):\n    return x <= 0.5 or x > 1.0\n", BO_PATH, select="RL003"
+        )
+        assert violations == []
+
+    def test_only_numerical_packages_in_scope(self):
+        source = "def f(x):\n    return x == 0.5\n"
+        assert lint(source, Path("src/repro/ar/fixture.py"), select="RL003") == []
+        assert rule_ids(lint(source, BO_PATH, select="RL003")) == ["RL003"]
+
+    def test_suppression_comment_silences(self):
+        violations = lint(
+            "def f(x):\n    return x == 0.5  # reprolint: disable=RL003\n",
+            BO_PATH,
+            select="RL003",
+        )
+        assert violations == []
+
+
+# --------------------------------------------------------------- RL004
+
+
+class TestUnitSuffixRule:
+    def test_fires_on_suffixless_float_parameter(self):
+        violations = lint(
+            "def measure(latency: float) -> float:\n    return latency\n",
+            select="RL004",
+        )
+        assert rule_ids(violations) == ["RL004"]
+        assert "_ms" in violations[0].message
+
+    def test_fires_on_unannotated_temporal_parameter(self):
+        violations = lint(
+            "def wait(timeout):\n    return timeout\n", select="RL004"
+        )
+        assert rule_ids(violations) == ["RL004"]
+
+    def test_fires_on_dataclass_field(self):
+        violations = lint(
+            """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class Config:
+                control_period: float = 1.0
+            """,
+            select="RL004",
+        )
+        assert rule_ids(violations) == ["RL004"]
+
+    def test_unit_suffixes_satisfy(self):
+        violations = lint(
+            """\
+            def measure(latency_ms: float, period_s: float) -> float:
+                return latency_ms + period_s
+            """,
+            select="RL004",
+        )
+        assert violations == []
+
+    def test_ms_seconds_aliases_satisfy(self):
+        violations = lint(
+            """\
+            from repro.units import Ms, Seconds
+
+            def measure(latency: Ms, period: Seconds) -> Ms:
+                return latency
+            """,
+            select="RL004",
+        )
+        assert violations == []
+
+    def test_dimensionless_names_exempt(self):
+        violations = lint(
+            """\
+            def run(
+                n_periods: int,
+                time_constant_steps: float,
+                latency_ratio: float,
+                w_latency: float,
+                latency_only: bool = False,
+            ) -> None:
+                pass
+            """,
+            select="RL004",
+        )
+        assert violations == []
+
+    def test_suppression_comment_silences(self):
+        violations = lint(
+            """\
+            def measure(
+                latency: float,  # reprolint: disable=RL004
+            ) -> float:
+                return latency
+            """,
+            select="RL004",
+        )
+        assert violations == []
+
+
+# --------------------------------------------------------------- RL005
+
+
+class TestPublicAPIAnnotationsRule:
+    def test_fires_on_missing_param_annotation(self):
+        violations = lint(
+            "def run(system, n: int) -> None:\n    pass\n", select="RL005"
+        )
+        assert rule_ids(violations) == ["RL005"]
+        assert "system" in violations[0].message
+
+    def test_fires_on_missing_return_annotation(self):
+        violations = lint("def run(n: int):\n    pass\n", select="RL005")
+        assert rule_ids(violations) == ["RL005"]
+        assert "return" in violations[0].message
+
+    def test_fires_on_unannotated_varargs(self):
+        violations = lint(
+            "def run(*args, **kwargs) -> None:\n    pass\n", select="RL005"
+        )
+        assert rule_ids(violations) == ["RL005"]
+        assert "*args" in violations[0].message
+
+    def test_private_and_nested_functions_exempt(self):
+        violations = lint(
+            """\
+            def _helper(x):
+                pass
+
+            def public() -> None:
+                def inner(y):
+                    pass
+            """,
+            select="RL005",
+        )
+        assert violations == []
+
+    def test_methods_checked_and_self_exempt(self):
+        violations = lint(
+            """\
+            class Model:
+                def __init__(self, n: int) -> None:
+                    self.n = n
+
+                def fit(self, data) -> None:
+                    pass
+            """,
+            select="RL005",
+        )
+        assert rule_ids(violations) == ["RL005"]
+        assert "Model.fit" in violations[0].message
+
+    def test_suppression_comment_silences(self):
+        violations = lint(
+            "def run(system) -> None:  # reprolint: disable=RL005\n    pass\n",
+            select="RL005",
+        )
+        assert violations == []
+
+
+# ---------------------------------------------------------- engine/CLI
+
+
+class TestEngine:
+    def test_file_level_suppression(self):
+        violations = lint(
+            """\
+            # reprolint: disable-file=RL001
+            import numpy as np
+
+            def a():
+                return np.random.default_rng()
+
+            def b():
+                return np.random.default_rng()
+            """,
+            select="RL001",
+        )
+        assert violations == []
+
+    def test_disable_all_on_line(self):
+        violations = lint(
+            """\
+            import numpy as np
+
+            def f(latency):
+                return np.random.default_rng()  # reprolint: disable=all
+            """,
+        )
+        assert sorted(rule_ids(violations)) == ["RL004", "RL005", "RL005"]
+
+    def test_directive_inside_string_is_inert(self):
+        violations = lint(
+            """\
+            import numpy as np
+
+            def f() -> str:
+                np.random.default_rng("# reprolint: disable=RL001")
+                return "x"
+            """,
+            select="RL001",
+        )
+        assert rule_ids(violations) == ["RL001"]
+
+    def test_suppression_parsing(self):
+        sup = parse_suppressions(
+            "x = 1  # reprolint: disable=RL001,RL003\n"
+            "# reprolint: disable-file=RL004\n"
+        )
+        assert sup.is_suppressed("RL001", 1)
+        assert sup.is_suppressed("RL003", 1)
+        assert not sup.is_suppressed("RL002", 1)
+        assert sup.is_suppressed("RL004", 999)
+
+    def test_syntax_error_reported_not_crashed(self):
+        violations = lint("def broken(:\n", select="RL001")
+        assert rule_ids(violations) == ["E901"]
+
+    def test_violations_sorted_by_location(self):
+        violations = lint(
+            """\
+            import numpy as np
+
+            def z():
+                return np.random.default_rng()
+
+            def a(latency: float) -> float:
+                return np.random.default_rng().normal() + latency
+            """,
+        )
+        lines = [v.line for v in violations]
+        assert lines == sorted(lines)
+
+    def test_iter_python_files_dedupes(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "b.py").write_text("y = 2\n")
+        files = list(iter_python_files([tmp_path, tmp_path / "a.py"]))
+        assert [f.name for f in files] == ["a.py", "b.py"]
+
+
+class TestCLI:
+    def write_fixture(self, tmp_path: Path) -> Path:
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text(
+            "import numpy as np\n\n\ndef f():\n    return np.random.default_rng()\n"
+        )
+        return tmp_path / "src"
+
+    def test_exit_one_on_violations(self, tmp_path, capsys):
+        src = self.write_fixture(tmp_path)
+        code = reprolint_main([str(src)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "RL001" in out and "bad.py" in out
+
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        src = self.write_fixture(tmp_path)
+        code = reprolint_main([str(src), "--ignore", "RL001,RL005"])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_select_unknown_rule_rejected(self):
+        with pytest.raises(SystemExit):
+            reprolint_main(["--select", "RL999", "."])
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        assert reprolint_main([str(tmp_path / "nope")]) == 2
+
+    def test_list_rules(self, capsys):
+        assert reprolint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+            assert rule_id in out
+
+    def test_module_invocation_subprocess(self, tmp_path):
+        src = self.write_fixture(tmp_path)
+        proc = subprocess.run(
+            [sys.executable, "-m", "reprolint", str(src)],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(TOOLS_DIR), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 1
+        assert "RL001" in proc.stdout
+
+
+# ------------------------------------------------------ the real gate
+
+
+class TestRepoIsClean:
+    """The tree this suite ships with must pass its own linter."""
+
+    def test_src_is_clean(self):
+        violations = lint_paths([REPO_ROOT / "src"], ALL_RULES)
+        assert violations == [], "\n".join(v.render() for v in violations)
+
+    def test_benchmarks_and_examples_are_clean(self):
+        violations = lint_paths(
+            [REPO_ROOT / "benchmarks", REPO_ROOT / "examples"], ALL_RULES
+        )
+        assert violations == [], "\n".join(v.render() for v in violations)

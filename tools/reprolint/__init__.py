@@ -1,0 +1,46 @@
+"""reprolint — repo-native static analysis for the HBO reproduction.
+
+An AST-based linter (stdlib only) that enforces the contracts this
+reproduction states in prose but Python does not check:
+
+- RL001 determinism: stochastic draws and wall-clock reads must flow
+  through ``repro.rng`` / ``repro.sim.clock``.
+- RL002 error hygiene: raised errors derive from ``ReproError`` (or are
+  builtin ``TypeError``/``ValueError``-style re-raises).
+- RL003 float equality: no ``==``/``!=`` against float-valued expressions
+  in the numerical packages.
+- RL004 units: latency/time/period quantities carry an explicit unit
+  suffix or a ``Ms``/``Seconds`` alias annotation.
+- RL005 public-API annotations: public functions are fully annotated.
+
+Run ``python -m reprolint src`` (exits nonzero on violations) or see
+``docs/static-analysis.md`` for the rule catalog and suppression syntax.
+"""
+
+from __future__ import annotations
+
+from reprolint.engine import (
+    FileContext,
+    Rule,
+    Violation,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from reprolint.rules import ALL_RULES, rules_by_id
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_RULES",
+    "FileContext",
+    "Rule",
+    "Violation",
+    "__version__",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "rules_by_id",
+]

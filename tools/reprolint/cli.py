@@ -1,0 +1,93 @@
+"""Command-line front-end: ``python -m reprolint [paths] [options]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from reprolint.engine import Rule, lint_paths
+from reprolint.rules import ALL_RULES, rules_by_id
+
+
+def _select_rules(
+    select: Optional[str], ignore: Optional[str]
+) -> List[Rule]:
+    registry = rules_by_id()
+    if select:
+        wanted = [part.strip().upper() for part in select.split(",") if part.strip()]
+        unknown = [rule_id for rule_id in wanted if rule_id not in registry]
+        if unknown:
+            raise SystemExit(f"unknown rule id(s): {', '.join(unknown)}")
+        rules: List[Rule] = [registry[rule_id] for rule_id in wanted]
+    else:
+        rules = list(ALL_RULES)
+    if ignore:
+        dropped = {part.strip().upper() for part in ignore.split(",") if part.strip()}
+        rules = [rule for rule in rules if rule.id not in dropped]
+    return rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "Repo-native static analysis for the HBO reproduction: "
+            "determinism, error hygiene, float equality, unit suffixes, "
+            "and public-API annotations."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line; print violations only",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}  {rule.summary}")
+        return 0
+    rules = _select_rules(args.select, args.ignore)
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"reprolint: no such path: {', '.join(str(p) for p in missing)}",
+            file=sys.stderr,
+        )
+        return 2
+    violations = lint_paths(paths, rules)
+    for violation in violations:
+        print(violation.render())
+    if not args.quiet:
+        noun = "violation" if len(violations) == 1 else "violations"
+        status = "clean" if not violations else f"{len(violations)} {noun}"
+        print(f"reprolint: {status} ({', '.join(r.id for r in rules)})")
+    return 1 if violations else 0

@@ -1,0 +1,229 @@
+"""Rule engine: file contexts, suppression parsing, and the lint loop.
+
+A :class:`Rule` inspects one parsed module (via a :class:`FileContext`)
+and yields :class:`Violation` records. The engine owns everything rules
+should not have to care about: discovering files, parsing, matching
+suppression comments, and aggregating results.
+
+Suppression syntax (per line, after the offending statement's first line)::
+
+    x = foo()  # reprolint: disable=RL001
+    y = bar()  # reprolint: disable=RL001,RL003
+    z = baz()  # reprolint: disable=all
+
+File-level suppression (anywhere in the file, conventionally near the top)::
+
+    # reprolint: disable-file=RL004
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\s]+)"
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at a source location."""
+
+    path: Path
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+@dataclass
+class Suppressions:
+    """Parsed ``# reprolint: disable=...`` directives for one file."""
+
+    by_line: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    file_wide: FrozenSet[str] = frozenset()
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if "ALL" in self.file_wide or rule_id in self.file_wide:
+            return True
+        rules = self.by_line.get(line)
+        if rules is None:
+            return False
+        return "ALL" in rules or rule_id in rules
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract suppression directives from comment tokens.
+
+    Uses :mod:`tokenize` rather than a per-line regex scan so that a
+    directive-looking substring inside a string literal never silences a
+    rule.
+    """
+    by_line: Dict[int, Set[str]] = {}
+    file_wide: Set[str] = set()
+    try:
+        tokens = tokenize.generate_tokens(iter(source.splitlines(True)).__next__)
+        comments: List[Tuple[int, str]] = [
+            (tok.start[0], tok.string)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparseable files are reported by the engine as E901; directives
+        # found by regex are still honoured so partial files behave sanely.
+        comments = [
+            (i, line)
+            for i, line in enumerate(source.splitlines(), start=1)
+            if "#" in line
+        ]
+    for lineno, text in comments:
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        kind = match.group(1)
+        rules = {
+            part.strip().upper()
+            for part in match.group(2).split(",")
+            if part.strip()
+        }
+        if kind == "disable-file":
+            file_wide |= rules
+        else:
+            by_line.setdefault(lineno, set()).update(rules)
+    return Suppressions(
+        by_line={k: frozenset(v) for k, v in by_line.items()},
+        file_wide=frozenset(file_wide),
+    )
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one module."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+
+    @property
+    def parts(self) -> Tuple[str, ...]:
+        """Path components, used by rules to decide applicability."""
+        return self.path.parts
+
+    @property
+    def filename(self) -> str:
+        return self.path.name
+
+    def in_package(self, *names: str) -> bool:
+        """True if any of ``names`` appears as a path component."""
+        return any(name in self.parts for name in names)
+
+
+class Rule:
+    """Base class for reprolint rules.
+
+    Subclasses set ``id``/``summary`` and implement :meth:`check`;
+    :meth:`applies` gates the rule on the file's location so repo policy
+    (e.g. "RL003 only in the numerical packages") lives with the rule.
+    """
+
+    id: str = "RL000"
+    summary: str = ""
+
+    def applies(self, ctx: FileContext) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Violation:
+        return Violation(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.id,
+            message=message,
+        )
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    seen: Set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def lint_source(
+    source: str,
+    path: Path,
+    rules: Sequence[Rule],
+) -> List[Violation]:
+    """Lint in-memory ``source`` as if it lived at ``path``.
+
+    The path controls rule applicability (packages, filenames) — the
+    self-test suite leans on this to exercise rules against fixture
+    snippets without touching the real tree.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                path=path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                rule_id="E901",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(path=path, source=source, tree=tree)
+    suppressions = parse_suppressions(source)
+    violations: List[Violation] = []
+    for rule in rules:
+        if not rule.applies(ctx):
+            continue
+        for violation in rule.check(ctx):
+            if not suppressions.is_suppressed(violation.rule_id, violation.line):
+                violations.append(violation)
+    violations.sort(key=lambda v: (str(v.path), v.line, v.col, v.rule_id))
+    return violations
+
+
+def lint_file(path: Path, rules: Sequence[Rule]) -> List[Violation]:
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [
+            Violation(
+                path=path,
+                line=1,
+                col=0,
+                rule_id="E902",
+                message=f"cannot read file: {exc}",
+            )
+        ]
+    return lint_source(source, path, rules)
+
+
+def lint_paths(paths: Sequence[Path], rules: Sequence[Rule]) -> List[Violation]:
+    violations: List[Violation] = []
+    for path in iter_python_files(paths):
+        violations.extend(lint_file(path, rules))
+    return violations

@@ -1,0 +1,35 @@
+"""Rule registry. Import order fixes report ordering for equal locations."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from reprolint.engine import Rule
+from reprolint.rules.annotations import PublicAPIAnnotationsRule
+from reprolint.rules.determinism import DeterminismRule
+from reprolint.rules.error_hygiene import ErrorHygieneRule
+from reprolint.rules.float_equality import FloatEqualityRule
+from reprolint.rules.units import UnitSuffixRule
+
+ALL_RULES: List[Rule] = [
+    DeterminismRule(),
+    ErrorHygieneRule(),
+    FloatEqualityRule(),
+    UnitSuffixRule(),
+    PublicAPIAnnotationsRule(),
+]
+
+
+def rules_by_id() -> Dict[str, Rule]:
+    return {rule.id: rule for rule in ALL_RULES}
+
+
+__all__ = [
+    "ALL_RULES",
+    "DeterminismRule",
+    "ErrorHygieneRule",
+    "FloatEqualityRule",
+    "PublicAPIAnnotationsRule",
+    "UnitSuffixRule",
+    "rules_by_id",
+]

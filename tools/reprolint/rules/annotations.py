@@ -1,0 +1,85 @@
+"""RL005 — public API functions are fully type-annotated.
+
+The package ships a ``py.typed`` marker, so downstream type checkers
+consume these annotations directly; an unannotated public function is a
+hole in that contract. Public means: module-level functions and methods
+of public classes whose name does not start with ``_`` (``__init__`` and
+``__call__`` are included — they *are* the constructor/call API).
+
+Every parameter except ``self``/``cls`` needs an annotation, and the
+function needs a return annotation (``__init__`` is exempt from the
+return annotation only if you suppress it — annotate ``-> None``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple, Union
+
+from reprolint.engine import FileContext, Rule, Violation
+
+_PUBLIC_DUNDERS = {"__init__", "__call__", "__post_init__"}
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _is_public_name(name: str) -> bool:
+    if name in _PUBLIC_DUNDERS:
+        return True
+    return not name.startswith("_")
+
+
+def _public_functions(
+    tree: ast.Module,
+) -> Iterator[Tuple[FunctionNode, str]]:
+    """Yield (function, qualified-name) for the module's public surface.
+
+    Only module-level functions and methods of public top-level classes
+    count; nested helpers are implementation detail.
+    """
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _is_public_name(node.name):
+                yield node, node.name
+        elif isinstance(node, ast.ClassDef) and _is_public_name(node.name):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if _is_public_name(item.name):
+                        yield item, f"{node.name}.{item.name}"
+
+
+class PublicAPIAnnotationsRule(Rule):
+    id = "RL005"
+    summary = "public functions must annotate every parameter and the return type"
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.in_package("repro")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node, qualname in _public_functions(ctx.tree):
+            missing: List[str] = []
+            args = node.args
+            params = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+            for arg in params:
+                if arg.arg in ("self", "cls"):
+                    continue
+                if arg.annotation is None:
+                    missing.append(arg.arg)
+            if args.vararg is not None and args.vararg.annotation is None:
+                missing.append("*" + args.vararg.arg)
+            if args.kwarg is not None and args.kwarg.annotation is None:
+                missing.append("**" + args.kwarg.arg)
+            if missing:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"public function `{qualname}` has unannotated "
+                    f"parameter(s): {', '.join(missing)}",
+                )
+            if node.returns is None:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"public function `{qualname}` is missing a return "
+                    "annotation (use `-> None` for procedures)",
+                )

@@ -1,0 +1,209 @@
+"""RL001 — all randomness and time must flow through the repro plumbing.
+
+One integer seed must reproduce a whole experiment, and simulated time
+must never leak host wall-clock. That only holds if no module constructs
+its own entropy (``np.random.default_rng()``, ``random.random()``) or
+reads the host clock (``time.time()``, ``datetime.now()``). The sanctioned
+entry points are ``repro.rng.make_rng`` / ``spawn_rngs`` for randomness and
+``repro.sim.clock.SimClock`` for time — so ``rng.py`` and ``clock.py``
+themselves are exempt, as are pytest ``conftest.py`` fixture files.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Set
+
+from reprolint.engine import FileContext, Rule, Violation
+
+# Module-level call targets that create entropy or read the wall clock.
+# Keys are fully dotted names as written at the call site after alias
+# resolution (``np`` is canonicalised to ``numpy``).
+_BANNED_DOTTED: Dict[str, str] = {
+    "numpy.random.default_rng": "use repro.rng.make_rng(seed) instead",
+    "numpy.random.seed": "thread a Generator from repro.rng, never reseed globally",
+    "numpy.random.RandomState": "legacy RandomState breaks stream spawning; use repro.rng",
+    "numpy.random.rand": "use a Generator from repro.rng.make_rng",
+    "numpy.random.randn": "use a Generator from repro.rng.make_rng",
+    "numpy.random.randint": "use a Generator from repro.rng.make_rng",
+    "numpy.random.random": "use a Generator from repro.rng.make_rng",
+    "numpy.random.choice": "use a Generator from repro.rng.make_rng",
+    "numpy.random.shuffle": "use a Generator from repro.rng.make_rng",
+    "numpy.random.permutation": "use a Generator from repro.rng.make_rng",
+    "numpy.random.normal": "use a Generator from repro.rng.make_rng",
+    "numpy.random.uniform": "use a Generator from repro.rng.make_rng",
+    "time.time": "use repro.sim.clock.SimClock for simulated time",
+    "time.time_ns": "use repro.sim.clock.SimClock for simulated time",
+    "time.perf_counter": "use repro.sim.clock.SimClock for simulated time",
+    "time.perf_counter_ns": "use repro.sim.clock.SimClock for simulated time",
+    "time.monotonic": "use repro.sim.clock.SimClock for simulated time",
+    "time.monotonic_ns": "use repro.sim.clock.SimClock for simulated time",
+    "time.process_time": "use repro.sim.clock.SimClock for simulated time",
+    "datetime.datetime.now": "wall-clock timestamps break replay determinism",
+    "datetime.datetime.utcnow": "wall-clock timestamps break replay determinism",
+    "datetime.datetime.today": "wall-clock timestamps break replay determinism",
+    "datetime.date.today": "wall-clock timestamps break replay determinism",
+}
+
+# Bare names that are banned when imported from these modules
+# (``from numpy.random import default_rng`` → ``default_rng(...)``).
+_BANNED_FROM_IMPORTS: Dict[str, Set[str]] = {
+    "numpy.random": {
+        "default_rng",
+        "seed",
+        "RandomState",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "choice",
+        "shuffle",
+        "permutation",
+        "normal",
+        "uniform",
+    },
+    "random": {
+        "random",
+        "seed",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "sample",
+        "shuffle",
+        "uniform",
+        "gauss",
+        "normalvariate",
+        "betavariate",
+        "expovariate",
+        "Random",
+        "SystemRandom",
+    },
+    "time": {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+    },
+    "datetime": {"datetime", "date"},  # flagged only on .now()/.today() calls
+}
+
+_EXEMPT_FILENAMES = {"rng.py", "clock.py", "conftest.py"}
+
+
+def _dotted_name(node: ast.expr) -> str:
+    """Render an Attribute/Name chain as ``a.b.c`` ('' if not a pure chain)."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+class DeterminismRule(Rule):
+    id = "RL001"
+    summary = (
+        "randomness/wall-clock must route through repro.rng and repro.sim.clock"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.filename not in _EXEMPT_FILENAMES
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        aliases = self._module_aliases(ctx.tree)
+        from_bindings = self._from_import_bindings(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func)
+            if not dotted:
+                continue
+            yield from self._check_dotted(ctx, node, dotted, aliases)
+            yield from self._check_bare(ctx, node, dotted, from_bindings)
+
+    # ------------------------------------------------------------- helpers
+
+    @staticmethod
+    def _module_aliases(tree: ast.Module) -> Dict[str, str]:
+        """Map local alias → canonical module path (``np`` → ``numpy``)."""
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    aliases[name.asname or name.name.split(".")[0]] = name.name
+        return aliases
+
+    @staticmethod
+    def _from_import_bindings(tree: ast.Module) -> Dict[str, str]:
+        """Map bare imported name → ``module.name`` for banned modules."""
+        bindings: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                banned = _BANNED_FROM_IMPORTS.get(node.module)
+                if not banned:
+                    continue
+                for name in node.names:
+                    if name.name in banned:
+                        bindings[name.asname or name.name] = (
+                            f"{node.module}.{name.name}"
+                        )
+        return bindings
+
+    def _check_dotted(
+        self,
+        ctx: FileContext,
+        node: ast.Call,
+        dotted: str,
+        aliases: Dict[str, str],
+    ) -> Iterator[Violation]:
+        head, _, rest = dotted.partition(".")
+        canonical = dotted
+        if head in aliases:
+            canonical = aliases[head] + ("." + rest if rest else "")
+        hint = _BANNED_DOTTED.get(canonical)
+        if hint is None and canonical.startswith("random.") and aliases.get(
+            head
+        ) == "random":
+            hint = "use a Generator from repro.rng.make_rng"
+        if hint is not None:
+            yield self.violation(
+                ctx, node, f"banned call `{dotted}(...)` — {hint}"
+            )
+
+    def _check_bare(
+        self,
+        ctx: FileContext,
+        node: ast.Call,
+        dotted: str,
+        from_bindings: Dict[str, str],
+    ) -> Iterator[Violation]:
+        head, _, rest = dotted.partition(".")
+        origin = from_bindings.get(head)
+        if origin is None:
+            return
+        if origin in ("datetime.datetime", "datetime.date"):
+            # ``from datetime import datetime`` is fine; only clock reads
+            # (``datetime.now()``/``date.today()``) are banned.
+            leaf = rest.split(".")[-1] if rest else ""
+            if leaf not in {"now", "utcnow", "today"}:
+                return
+            hint = "wall-clock timestamps break replay determinism"
+        elif rest:
+            return  # attribute access on an imported callable — not a direct call
+        else:
+            hint = (
+                "use repro.sim.clock.SimClock for simulated time"
+                if origin.startswith("time.")
+                else "use a Generator from repro.rng.make_rng"
+            )
+        yield self.violation(
+            ctx,
+            node,
+            f"banned call `{dotted}(...)` (imported from `{origin}`) — {hint}",
+        )

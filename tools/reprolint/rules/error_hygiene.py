@@ -1,0 +1,123 @@
+"""RL002 — every raise in the library uses the ReproError hierarchy.
+
+Callers are promised they can catch ``ReproError`` at API boundaries and
+get everything the library ever throws (``src/repro/errors.py``). A stray
+``raise Exception(...)`` or ``raise RuntimeError(...)`` silently breaks
+that contract. Builtin ``TypeError``/``ValueError`` (and a couple of
+protocol-mandated builtins) stay legal: they signal caller bugs, not
+library failures, and mirror what stdlib containers raise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from reprolint.engine import FileContext, Rule, Violation
+
+# Builtins a library module may raise directly.
+_ALLOWED_BUILTINS = {
+    "TypeError",
+    "ValueError",
+    "KeyError",
+    "IndexError",
+    "NotImplementedError",
+    "StopIteration",
+    "SystemExit",
+    "KeyboardInterrupt",
+    "AssertionError",
+}
+
+# Names that are never acceptable as a raised class.
+_FORBIDDEN = {
+    "Exception",
+    "BaseException",
+    "RuntimeError",
+    "OSError",
+    "IOError",
+    "ArithmeticError",
+    "Error",
+}
+
+
+class ErrorHygieneRule(Rule):
+    id = "RL002"
+    summary = "raise ReproError subclasses (or allowed builtins), never bare Exception"
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.in_package("repro")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        allowed = _ALLOWED_BUILTINS | self._error_imports(ctx.tree)
+        allowed |= self._local_error_classes(ctx.tree, allowed)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise):
+                continue
+            exc = node.exc
+            if exc is None:
+                continue  # bare re-raise inside except: always fine
+            name = self._raised_name(exc)
+            if name is None:
+                continue  # raising a bound variable (re-raise pattern)
+            if name in _FORBIDDEN:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"`raise {name}` — use a ReproError subclass from "
+                    "repro.errors so callers can catch one base class",
+                )
+            elif name not in allowed:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"`raise {name}` — {name} is not imported from repro.errors "
+                    "and is not an allowed builtin (TypeError/ValueError/...)",
+                )
+
+    # ------------------------------------------------------------- helpers
+
+    @staticmethod
+    def _error_imports(tree: ast.Module) -> Set[str]:
+        """Names imported from an ``errors`` module (``repro.errors`` etc.)."""
+        names: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                if node.module == "errors" or node.module.endswith(".errors"):
+                    for alias in node.names:
+                        names.add(alias.asname or alias.name)
+        return names
+
+    @staticmethod
+    def _local_error_classes(tree: ast.Module, allowed: Set[str]) -> Set[str]:
+        """Classes defined in this file that (transitively) extend an allowed
+        base or ``Exception`` itself — this lets ``errors.py`` define the
+        hierarchy without tripping its own rule."""
+        local: Set[str] = set()
+        grown = True
+        while grown:  # fixed-point over in-file inheritance chains
+            grown = False
+            for node in ast.walk(tree):
+                if not isinstance(node, ast.ClassDef) or node.name in local:
+                    continue
+                for base in node.bases:
+                    base_name = base.id if isinstance(base, ast.Name) else None
+                    if base_name in allowed | local or base_name == "Exception":
+                        local.add(node.name)
+                        grown = True
+                        break
+        return local
+
+    @staticmethod
+    def _raised_name(exc: ast.expr) -> "str | None":
+        """Class name being raised, or None for non-class raises."""
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if isinstance(exc, ast.Name):
+            # Lowercase names are almost always caught-exception variables
+            # (``except ... as err: raise err``) — not class references.
+            if exc.id and exc.id[0].isupper():
+                return exc.id
+            return None
+        if isinstance(exc, ast.Attribute):
+            return exc.attr if exc.attr and exc.attr[0].isupper() else None
+        return None

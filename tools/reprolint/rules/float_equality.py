@@ -1,0 +1,85 @@
+"""RL003 — no exact equality against float expressions in numerical code.
+
+The BO surrogate, cost functions, and contention model are all floating-
+point pipelines; ``x == 0.5`` silently becomes dead code after any
+arithmetic touches ``x``. The rule fires on ``==``/``!=`` comparisons
+where an operand is *evidently* float-valued (a float literal, a
+``float(...)``/``math.*`` call, or arithmetic involving one). Comparisons
+between names of unknown type are left alone — a static pass cannot see
+dtypes, and over-flagging integer comparisons would train people to
+suppress the rule. Use ``math.isclose`` / ``np.isclose`` instead.
+
+Scope: the numerical packages only (``bo/``, ``core/``, ``device/``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from reprolint.engine import FileContext, Rule, Violation
+
+_FLOAT_RETURNING_CALLS = {
+    "float",
+    "sqrt",
+    "exp",
+    "log",
+    "log2",
+    "log10",
+    "sin",
+    "cos",
+    "tan",
+    "mean",
+    "std",
+    "var",
+    "norm",
+}
+
+
+def _is_floaty(node: ast.expr) -> bool:
+    """Conservatively: is this expression certainly float-valued?"""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _is_floaty(node.operand)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True  # true division always yields float
+        return _is_floaty(node.left) or _is_floaty(node.right)
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else ""
+        )
+        return name in _FLOAT_RETURNING_CALLS
+    return False
+
+
+class FloatEqualityRule(Rule):
+    id = "RL003"
+    summary = "use math.isclose/np.isclose, not ==/!=, on float expressions"
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.in_package("bo", "core", "device")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_floaty(left) or _is_floaty(right):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"float `{symbol}` comparison — use math.isclose / "
+                        "np.isclose (exact float equality is brittle)",
+                    )
+                    break  # one report per Compare node is enough

@@ -1,0 +1,180 @@
+"""RL004 — temporal quantities must declare their unit.
+
+The contention simulator works in milliseconds, the sim clock in seconds,
+and the paper's figures mix both axes. A parameter called ``latency`` is a
+seconds-vs-ms bug waiting to happen; ``latency_ms`` (or an annotation with
+the ``Ms``/``Seconds`` aliases from ``repro.units``) is self-documenting
+and greppable.
+
+The rule inspects function parameters and class-level annotated fields
+whose name contains a temporal word (latency/time/period/duration/delay/
+timeout/interval) and whose annotation is float-like (or missing). It is
+satisfied by:
+
+- a unit suffix: ``_ms``, ``_s``, ``_us``, ``_ns``;
+- an annotation using the ``Ms`` / ``Seconds`` aliases;
+- a dimensionless tail (``_steps``, ``_ratio``, ``_factor``, ...) or
+  count/flag prefix (``n_``, ``num_``, ``w_``, ``is_``...), which mark the
+  value as not a physical time at all.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Sequence
+
+from reprolint.engine import FileContext, Rule, Violation
+
+_TEMPORAL_WORDS = {
+    "latency",
+    "latencies",
+    "time",
+    "period",
+    "duration",
+    "delay",
+    "timeout",
+    "interval",
+    "deadline",
+}
+
+_UNIT_SUFFIXES = {"ms", "s", "us", "ns", "hz"}
+
+# Tail components that mark the value as dimensionless (a count, a ratio,
+# a flag) rather than a physical time.
+_DIMENSIONLESS_TAILS = {
+    "steps",
+    "step",
+    "count",
+    "counts",
+    "ratio",
+    "frac",
+    "fraction",
+    "factor",
+    "scale",
+    "weight",
+    "only",
+    "index",
+    "idx",
+    "id",
+    "ids",
+    "name",
+    "names",
+    "key",
+    "keys",
+    "axis",
+    "label",
+    "labels",
+    "mode",
+    "kind",
+    "fn",
+}
+
+# Head components for counts, weights, and predicates.
+_EXEMPT_HEADS = {"n", "num", "w", "is", "has", "use", "per"}
+
+
+def _annotation_name(annotation: Optional[ast.expr]) -> str:
+    """Terminal name of an annotation (``Optional[float]`` → handled by caller)."""
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        return annotation.value
+    return ""
+
+
+def _is_float_like(annotation: Optional[ast.expr]) -> bool:
+    """True for ``float`` and Optional/Union wrappers around it."""
+    if annotation is None:
+        return False
+    name = _annotation_name(annotation)
+    if name == "float":
+        return True
+    if isinstance(annotation, ast.Subscript):
+        head = _annotation_name(annotation.value)
+        if head in {"Optional", "Union"}:
+            inner = annotation.slice
+            elts: Sequence[ast.expr]
+            if isinstance(inner, ast.Tuple):
+                elts = inner.elts
+            else:
+                elts = [inner]
+            return any(_is_float_like(e) for e in elts)
+    return False
+
+
+def _is_unit_alias(annotation: Optional[ast.expr]) -> bool:
+    return _annotation_name(annotation) in {"Ms", "Seconds"}
+
+
+def _needs_unit(name: str) -> bool:
+    parts = name.lower().split("_")
+    if not any(part in _TEMPORAL_WORDS for part in parts):
+        return False
+    if parts[-1] in _UNIT_SUFFIXES:
+        return False
+    if parts[-1] in _DIMENSIONLESS_TAILS:
+        return False
+    if parts[0] in _EXEMPT_HEADS:
+        return False
+    return True
+
+
+class UnitSuffixRule(Rule):
+    id = "RL004"
+    summary = "temporal names need a _ms/_s suffix or a Ms/Seconds annotation"
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.in_package("repro")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_params(ctx, node)
+            elif isinstance(node, ast.ClassDef):
+                yield from self._check_fields(ctx, node)
+
+    def _check_params(
+        self, ctx: FileContext, node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    ) -> Iterator[Violation]:
+        args = node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if arg.arg in ("self", "cls"):
+                continue
+            if not _needs_unit(arg.arg):
+                continue
+            if _is_unit_alias(arg.annotation):
+                continue
+            if arg.annotation is not None and not _is_float_like(arg.annotation):
+                continue  # ints count periods, sequences carry their own docs
+            yield self.violation(
+                ctx,
+                arg,
+                f"parameter `{arg.arg}` of `{node.name}` is a temporal quantity "
+                "with no unit — suffix it `_ms`/`_s` or annotate with "
+                "repro.units.Ms/Seconds",
+            )
+
+    def _check_fields(
+        self, ctx: FileContext, node: ast.ClassDef
+    ) -> Iterator[Violation]:
+        for stmt in node.body:
+            if not isinstance(stmt, ast.AnnAssign):
+                continue
+            target = stmt.target
+            if not isinstance(target, ast.Name):
+                continue
+            if not _needs_unit(target.id):
+                continue
+            if _is_unit_alias(stmt.annotation):
+                continue
+            if not _is_float_like(stmt.annotation):
+                continue
+            yield self.violation(
+                ctx,
+                stmt,
+                f"field `{target.id}` of `{node.name}` is a temporal quantity "
+                "with no unit — suffix it `_ms`/`_s` or annotate with "
+                "repro.units.Ms/Seconds",
+            )
