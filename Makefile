@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: reprolint ruff mypy lint test check
+.PHONY: reprolint ruff mypy lint test fleet-smoke check
 
 reprolint:
 	PYTHONPATH=tools $(PYTHON) -m reprolint src benchmarks examples
@@ -29,4 +29,9 @@ lint: reprolint ruff mypy
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
-check: lint test
+# A small end-to-end fleet run (8 sessions, reduced budget): exercises the
+# scheduler, the batched GP service, and the warm-start store in one shot.
+fleet-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro fleet --sessions 8 --initial 3 --iterations 5
+
+check: lint test fleet-smoke

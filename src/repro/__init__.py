@@ -16,6 +16,8 @@ built here too:
   the SC1/SC2 object catalogs, rendering load, and the TD heuristic.
 - :mod:`repro.baselines` — SMQ, SML, BNT, AllN.
 - :mod:`repro.sim` — scripted sessions and the §IV-E monitoring loop.
+- :mod:`repro.fleet` — multi-session fleet serving with a shared edge
+  optimizer, batched GP proposals, and cross-session warm starting.
 - :mod:`repro.experiments` — a driver per paper table/figure.
 - :mod:`repro.userstudy` — the simulated §V-E rater panel.
 
@@ -53,6 +55,14 @@ from repro.core import (
 )
 from repro.device import DeviceSimulator, Resource, galaxy_s22_soc, pixel7_soc
 from repro.errors import ReproError
+from repro.fleet import (
+    FleetConfig,
+    FleetResult,
+    FleetScheduler,
+    SessionSpec,
+    SharedConfigStore,
+    run_fleet,
+)
 from repro.models import ModelZoo, TaskSet, taskset_cf1, taskset_cf2
 from repro.sim import MonitoringEngine
 from repro.sim.scenarios import build_system, fig8_event_script
@@ -68,6 +78,9 @@ __all__ = [
     "DeviceSimulator",
     "EventBasedPolicy",
     "ExpectedImprovement",
+    "FleetConfig",
+    "FleetResult",
+    "FleetScheduler",
     "GaussianProcess",
     "HBOConfig",
     "HBOController",
@@ -88,6 +101,8 @@ __all__ = [
     "Resource",
     "Scene",
     "Seconds",
+    "SessionSpec",
+    "SharedConfigStore",
     "StaticMatchLatencyBaseline",
     "StaticMatchQualityBaseline",
     "TaskSet",
@@ -100,6 +115,7 @@ __all__ = [
     "galaxy_s22_soc",
     "ms_to_s",
     "pixel7_soc",
+    "run_fleet",
     "s_to_ms",
     "taskset_cf1",
     "taskset_cf2",

@@ -127,6 +127,9 @@ class BayesianOptimizer:
         self._rng = make_rng(seed)
         self.state = OptimizerState()
         self._pending: Optional[np.ndarray] = None
+        #: Number of observations injected by :meth:`warm_start` (they sit
+        #: at the front of ``state.observations``).
+        self.n_warm = 0
 
     # ------------------------------------------------------------------ API
 
@@ -138,6 +141,37 @@ class BayesianOptimizer:
     def in_initial_phase(self) -> bool:
         """True while the optimizer is still collecting random seed points."""
         return self.n_observations < self.n_initial
+
+    @property
+    def warm_started(self) -> bool:
+        """True when the dataset was seeded by :meth:`warm_start`."""
+        return self.n_warm > 0
+
+    def warm_start(self, observations: Sequence[Observation]) -> int:
+        """Seed the dataset with observations transferred from a donor run.
+
+        Cross-session warm starting: a new optimizer facing an environment
+        similar to one already solved can start from the donor's (z, cost)
+        pairs instead of cold random initialization. Injected observations
+        count toward ``n_initial``, so a warm start with at least
+        ``n_initial`` points skips the random phase entirely and the first
+        ``ask`` is already GP-guided.
+
+        Must be called before the first ``ask``/``tell``; donor points are
+        projected into this optimizer's space. Returns the number of
+        observations injected.
+        """
+        if self.state.observations or self._pending is not None:
+            raise ConfigurationError(
+                "warm_start() must be called before the first ask()/tell()"
+            )
+        for obs in observations:
+            z = np.asarray(obs.z, dtype=float).ravel()
+            if not self.space.contains(z, tol=1e-6):
+                z = self.space.project(z)
+            self.state.observations.append(Observation(z=z, cost=float(obs.cost)))
+        self.n_warm = len(self.state.observations)
+        return self.n_warm
 
     def ask(self) -> np.ndarray:
         """Propose the next configuration to evaluate."""

@@ -8,6 +8,10 @@ Commands
 ``tune``
     Run one HBO activation on a scenario and print the configuration it
     settles on; optionally export the run as JSON.
+``fleet``
+    Run a multi-session fleet against the shared edge optimizer and
+    print the cold-vs-warm convergence report; optionally export the
+    fleet trace and the warm-start store as JSON.
 ``list``
     Show the available scenarios, tasksets, devices and experiments.
 ``profiles``
@@ -23,7 +27,18 @@ from typing import List, Optional
 from repro.core.controller import HBOConfig, HBOController
 from repro.device.profiles import GALAXY_S22, PIXEL7, device_names, model_names
 from repro.errors import ReproError
-from repro.experiments import fig2, fig4, fig5, fig6, fig7, fig8, fig9, sweep, table1
+from repro.experiments import (
+    fig2,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fleet as fleet_exp,
+    sweep,
+    table1,
+)
 from repro.models.zoo import ModelZoo
 from repro.rng import derive_seed
 from repro.sim.scenarios import build_system
@@ -37,6 +52,9 @@ _EXPERIMENTS = {
     "fig7": lambda seed, cfg: fig7.render(fig7.run_fig7(seed=seed, config=cfg)),
     "fig8": lambda seed, cfg: fig8.render(fig8.run_fig8(seed=seed, config=cfg)),
     "fig9": lambda seed, cfg: fig9.render(fig9.run_fig9(seed=seed, config=cfg)),
+    "fleet": lambda seed, cfg: fleet_exp.render(
+        fleet_exp.run_fleet_experiment(seed=seed, config=cfg)
+    ),
     "wsweep": lambda seed, cfg: sweep.render_w_sweep(
         sweep.run_w_sweep(seed=seed, config=cfg)
     ),
@@ -71,6 +89,23 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--initial", type=int, default=5)
     tune.add_argument("--export", metavar="PATH", default=None,
                       help="write the full run as JSON")
+
+    fleet = sub.add_parser(
+        "fleet", help="run a multi-session fleet with warm starting"
+    )
+    fleet.add_argument("--sessions", type=int, default=16,
+                       help="number of concurrent sessions")
+    fleet.add_argument("--seed", type=int, default=2024)
+    fleet.add_argument("--iterations", type=int, default=15,
+                       help="BO-guided iterations per session")
+    fleet.add_argument("--initial", type=int, default=5,
+                       help="random initialization points per session")
+    fleet.add_argument("--cold", action="store_true",
+                       help="disable cross-session warm starting")
+    fleet.add_argument("--export", metavar="PATH", default=None,
+                       help="write the fleet trace as JSON")
+    fleet.add_argument("--store", metavar="PATH", default=None,
+                       help="write the warm-start store as JSON")
 
     sub.add_parser("list", help="show scenarios, devices and experiments")
 
@@ -118,6 +153,26 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    config = HBOConfig(n_initial=args.initial, n_iterations=args.iterations)
+    experiment = fleet_exp.run_fleet_experiment(
+        seed=args.seed,
+        config=config,
+        n_sessions=args.sessions,
+        warm_start=not args.cold,
+    )
+    print(fleet_exp.render(experiment))
+    if args.export:
+        from repro.sim.export import fleet_result_to_dict, save_json
+
+        save_json(fleet_result_to_dict(experiment.result), args.export)
+        print(f"fleet trace exported to {args.export}")
+    if args.store:
+        experiment.store.save(args.store)
+        print(f"warm-start store exported to {args.store}")
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("scenarios : SC1 (heavy objects), SC2 (light objects)")
     print("tasksets  : CF1 (6 AI tasks), CF2 (3 AI tasks)")
@@ -150,6 +205,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "experiment": _cmd_experiment,
         "tune": _cmd_tune,
+        "fleet": _cmd_fleet,
         "list": _cmd_list,
         "profiles": _cmd_profiles,
     }

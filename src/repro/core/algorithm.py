@@ -94,8 +94,17 @@ class HBOIteration:
 
     def run_once(self) -> IterationResult:
         """Execute Algorithm 1 for one control period."""
+        return self.evaluate(self.optimizer.ask())  # Line 1
+
+    def evaluate(self, z: np.ndarray) -> IterationResult:
+        """Execute Lines 2–26 for an externally proposed configuration.
+
+        The fleet's shared optimizer service computes proposals for many
+        sessions in one batched GP pass and feeds each session its ``z``
+        through this entry point; ``run_once`` is the single-session path
+        where the session's own optimizer proposes.
+        """
         space: HBOSpace = self.optimizer.space  # type: ignore[assignment]
-        z = self.optimizer.ask()  # Line 1
         point = space.split(z)
         triangle_ratio = 1.0 if self.latency_only else point.triangle_ratio
 

@@ -24,15 +24,19 @@ This module implements exactly that:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.controller import HBOController, HBORunResult
 from repro.core.system import MARSystem, Measurement
-from repro.device.resources import Resource
+from repro.device.resources import Resource, resource_from_name
 from repro.errors import ConfigurationError
+
+PathLike = Union[str, Path]
 
 
 @dataclass(frozen=True)
@@ -83,6 +87,26 @@ class EnvironmentSignature:
         return float(d_tri + d_objects + d_dist)
 
 
+def signature_to_dict(signature: EnvironmentSignature) -> Dict[str, Any]:
+    """Serialize an :class:`EnvironmentSignature` to plain JSON types."""
+    return {
+        "total_max_triangles": signature.total_max_triangles,
+        "n_objects": signature.n_objects,
+        "mean_distance_m": signature.mean_distance_m,
+        "taskset_key": list(signature.taskset_key),
+    }
+
+
+def signature_from_dict(data: Mapping[str, Any]) -> EnvironmentSignature:
+    """Rebuild an :class:`EnvironmentSignature` from its exported form."""
+    return EnvironmentSignature(
+        total_max_triangles=float(data["total_max_triangles"]),
+        n_objects=int(data["n_objects"]),
+        mean_distance_m=float(data["mean_distance_m"]),
+        taskset_key=tuple(str(t) for t in data["taskset_key"]),
+    )
+
+
 @dataclass(frozen=True)
 class StoredConfiguration:
     """A configuration remembered for an environment."""
@@ -91,6 +115,29 @@ class StoredConfiguration:
     allocation: Mapping[str, Resource]
     triangle_ratio: float
     reward: float  # B achieved when this configuration was stored
+
+
+def stored_configuration_to_dict(entry: StoredConfiguration) -> Dict[str, Any]:
+    """Serialize a :class:`StoredConfiguration` to plain JSON types."""
+    return {
+        "signature": signature_to_dict(entry.signature),
+        "allocation": {task: str(res) for task, res in entry.allocation.items()},
+        "triangle_ratio": entry.triangle_ratio,
+        "reward": entry.reward,
+    }
+
+
+def stored_configuration_from_dict(data: Mapping[str, Any]) -> StoredConfiguration:
+    """Rebuild a :class:`StoredConfiguration` from its exported form."""
+    return StoredConfiguration(
+        signature=signature_from_dict(data["signature"]),
+        allocation={
+            task: resource_from_name(name)
+            for task, name in data["allocation"].items()
+        },
+        triangle_ratio=float(data["triangle_ratio"]),
+        reward=float(data["reward"]),
+    )
 
 
 class LookupTable:
@@ -160,6 +207,54 @@ class LookupTable:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def entries(self) -> Tuple[StoredConfiguration, ...]:
+        """Stored entries in least-recently-used-first order."""
+        return tuple(
+            sorted(self._entries, key=lambda e: self._last_use.get(id(e), 0))
+        )
+
+    # -------------------------------------------------------- persistence
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize the table (entries in LRU order, plus hit counters) so
+        fleet/session state survives across runs."""
+        return {
+            "max_entries": self.max_entries,
+            "similarity_threshold": self.similarity_threshold,
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": [stored_configuration_to_dict(e) for e in self.entries()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LookupTable":
+        """Rebuild a table from :meth:`to_dict` output. Entries are
+        restored in the serialized (LRU) order, so eviction behaves the
+        same after a reload."""
+        table = cls(
+            max_entries=int(data["max_entries"]),
+            similarity_threshold=float(data["similarity_threshold"]),
+        )
+        for entry_data in data.get("entries", []):
+            table.store(stored_configuration_from_dict(entry_data))
+        table.hits = int(data.get("hits", 0))
+        table.misses = int(data.get("misses", 0))
+        return table
+
+    def save(self, path: PathLike) -> None:
+        """Write the table to ``path`` as pretty-printed JSON."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+
+    @classmethod
+    def load(cls, path: PathLike) -> "LookupTable":
+        """Read a table previously written by :meth:`save`."""
+        data = json.loads(Path(path).read_text())
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"{path}: expected a JSON object at top level"
+            )
+        return cls.from_dict(data)
 
 
 @dataclass

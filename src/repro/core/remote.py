@@ -17,8 +17,8 @@ server with one argument.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -58,10 +58,20 @@ class OffloadStats:
     bytes_up: int = 0
     bytes_down: int = 0
     network_ms: float = 0.0
+    #: Exchanges that carried more than one observation (``tell_many`` /
+    #: ``warm_start``): the batching amortizes per-exchange framing and
+    #: round trips across the whole payload.
+    batched_exchanges: int = 0
+    #: Observations shipped inside batched exchanges.
+    batched_observations: int = 0
 
     @property
     def total_bytes(self) -> int:
         return self.bytes_up + self.bytes_down
+
+    @property
+    def mean_bytes_per_exchange(self) -> float:
+        return self.total_bytes / self.exchanges if self.exchanges else 0.0
 
 
 class RemoteOptimizerProxy:
@@ -125,6 +135,46 @@ class RemoteOptimizerProxy:
         self.stats.bytes_down += self._FRAME_BYTES  # the ack
         self.stats.network_ms += self.link.transfer_ms(payload, self._rng)
         self._optimizer.tell(z, cost)
+
+    def _batched_payload_bytes(self, n_observations: int) -> int:
+        """Upload size of ``n_observations`` (vector, cost) pairs shipped
+        in one exchange: one shared frame instead of one per observation."""
+        per_observation = 4 * self.space.dim + 4  # float32 vector + cost
+        return n_observations * per_observation + self._FRAME_BYTES
+
+    def _account_batch(self, n_observations: int) -> None:
+        payload = self._batched_payload_bytes(n_observations)
+        self.stats.exchanges += 1
+        self.stats.batched_exchanges += 1
+        self.stats.batched_observations += n_observations
+        self.stats.bytes_up += payload
+        self.stats.bytes_down += self._FRAME_BYTES  # the ack
+        self.stats.network_ms += self.link.transfer_ms(payload, self._rng)
+
+    def tell_many(self, observations: Sequence[Tuple[np.ndarray, float]]) -> None:
+        """Upload a batch of measured costs in a single exchange.
+
+        Fleet deployments report several sessions' control periods per
+        tick; shipping them together pays one round trip and one frame for
+        the whole batch instead of per observation, so the per-observation
+        network cost shrinks as the batch grows.
+        """
+        if not observations:
+            return
+        self._account_batch(len(observations))
+        for z, cost in observations:
+            self._optimizer.tell(z, cost)
+
+    def warm_start(self, observations: Sequence[Observation]) -> int:
+        """Ship donor observations to the server-side optimizer.
+
+        The transfer is one batched exchange (same accounting as
+        :meth:`tell_many`); see
+        :meth:`~repro.bo.optimizer.BayesianOptimizer.warm_start`.
+        """
+        if observations:
+            self._account_batch(len(observations))
+        return self._optimizer.warm_start(observations)
 
     def best(self) -> Observation:
         return self._optimizer.best()

@@ -64,3 +64,9 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment driver was misconfigured or produced no data."""
+
+
+class FleetError(ReproError):
+    """The fleet scheduler or shared optimizer service reached an
+    inconsistent state (duplicate session ids, mismatched search spaces,
+    a run that never drains)."""

@@ -15,6 +15,10 @@ reports. The benchmark suite under ``benchmarks/`` invokes these, and
 | Fig. 7    | :mod:`repro.experiments.fig7` |
 | Fig. 8    | :mod:`repro.experiments.fig8` |
 | Fig. 9    | :mod:`repro.experiments.fig9` |
+
+Beyond the paper, :mod:`repro.experiments.fleet` runs the multi-session
+fleet (shared edge optimizer + cross-session warm starting) and reports
+cold-vs-warm convergence.
 """
 
 from repro.experiments import common, report

@@ -1,0 +1,186 @@
+"""Fleet experiment: cold vs warm convergence under shared serving.
+
+Beyond the paper: an edge server rarely tunes one device in isolation —
+it serves a *fleet*. This driver runs a mixed fleet (Pixel 7 / Galaxy
+S22, SC1-CF1 / SC2-CF2) against one shared optimizer service with the
+cross-session warm-start store enabled. The first arrival of each
+(device, scenario) cohort optimizes cold and donates its observations;
+later arrivals of the same cohort warm-start from the donation. The
+report compares the median number of control periods cold vs warm
+sessions needed to come within 5% of their eventual best cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.controller import HBOConfig
+from repro.device.profiles import GALAXY_S22, PIXEL7
+from repro.errors import ExperimentError
+from repro.experiments.common import DEFAULT_SEED
+from repro.experiments.report import format_kv, format_series, format_table
+from repro.fleet.scheduler import FleetConfig, FleetResult, FleetScheduler
+from repro.fleet.session import SessionSpec
+from repro.fleet.store import SharedConfigStore
+from repro.rng import derive_seed
+
+#: The (device, scenario, taskset) cohorts the default fleet mixes.
+COHORTS: Tuple[Tuple[str, str, str], ...] = (
+    (PIXEL7, "SC1", "CF1"),
+    (GALAXY_S22, "SC1", "CF1"),
+    (PIXEL7, "SC2", "CF2"),
+    (GALAXY_S22, "SC2", "CF2"),
+)
+
+
+def default_fleet_specs(
+    n_sessions: int,
+    config: HBOConfig,
+    seed: int = DEFAULT_SEED,
+    follow_gap_s: float = 3.0,
+) -> List[SessionSpec]:
+    """A mixed-cohort fleet with staggered arrivals.
+
+    One donor per cohort arrives at t = 0 and optimizes cold; the
+    remaining sessions round-robin over the cohorts and arrive (staggered
+    by ``follow_gap_s``) only after every donor has finished, so each
+    finds a matching donation in the store. Sessions within a cohort share
+    a placement seed (identical scenes → signature distance 0) but keep
+    independent measurement-noise streams.
+    """
+    if n_sessions < 1:
+        raise ExperimentError(f"n_sessions must be >= 1, got {n_sessions}")
+    cohorts = COHORTS[: min(len(COHORTS), n_sessions)]
+    donors_done_s = float(config.total_evaluations + 2)
+    specs: List[SessionSpec] = []
+    for index in range(n_sessions):
+        device, scenario, taskset = cohorts[index % len(cohorts)]
+        is_donor = index < len(cohorts)
+        follower_rank = index - len(cohorts)
+        specs.append(
+            SessionSpec(
+                session_id=f"s{index:02d}-{''.join(device.split()[1:]).lower()}-{scenario}",
+                device=device,
+                scenario=scenario,
+                taskset=taskset,
+                arrival_s=(
+                    0.0 if is_donor else donors_done_s + follow_gap_s * follower_rank
+                ),
+                placement_seed=derive_seed(seed, "fleet-placement", scenario, device),
+            )
+        )
+    return specs
+
+
+@dataclass(frozen=True)
+class FleetExperimentResult:
+    """The fleet run plus the store it populated."""
+
+    result: FleetResult
+    store: SharedConfigStore
+    n_sessions: int
+
+    @property
+    def median_converged_warm(self) -> Optional[float]:
+        return self.result.aggregates.median_converged_warm
+
+    @property
+    def median_converged_cold(self) -> Optional[float]:
+        return self.result.aggregates.median_converged_cold
+
+
+def run_fleet_experiment(
+    seed: int = DEFAULT_SEED,
+    config: Optional[HBOConfig] = None,
+    n_sessions: int = 16,
+    warm_start: bool = True,
+    store: Optional[SharedConfigStore] = None,
+) -> FleetExperimentResult:
+    """Run the mixed fleet; pass ``warm_start=False`` for an all-cold
+    control run (every session ignores the store on admission)."""
+    cfg = config if config is not None else HBOConfig()
+    specs = default_fleet_specs(n_sessions, cfg, seed=seed)
+    fleet_config = FleetConfig(hbo=cfg, warm_start=warm_start)
+    scheduler = FleetScheduler(
+        specs, seed=derive_seed(seed, "fleet"), config=fleet_config, store=store
+    )
+    return FleetExperimentResult(
+        result=scheduler.run(), store=scheduler.store, n_sessions=n_sessions
+    )
+
+
+def render(experiment: FleetExperimentResult) -> str:
+    """Human-readable fleet report (per-session table + aggregates)."""
+    result = experiment.result
+    aggregates = result.aggregates
+    blocks = [
+        format_kv(
+            f"Fleet — {aggregates.n_sessions} sessions, "
+            f"{result.ticks} ticks of {result.tick_s:g} s",
+            [
+                ["control periods run", aggregates.n_evaluations],
+                ["p50 frame latency (ms)", aggregates.p50_latency_ms],
+                ["p95 frame latency (ms)", aggregates.p95_latency_ms],
+                ["p50 quality", aggregates.p50_quality],
+                ["p95 quality", aggregates.p95_quality],
+                ["mean best cost", aggregates.mean_best_cost],
+                ["store hit rate", result.store_stats["hit_rate"]],
+                ["store transfer rate", result.store_stats["transfer_rate"]],
+                ["batched GP passes", result.service_stats["batches"]],
+                ["proposals served", result.service_stats["proposals_served"]],
+            ],
+        )
+    ]
+    rows = [
+        [
+            report.session_id,
+            report.device,
+            f"{report.scenario}-{report.taskset}",
+            report.arrival_s,
+            "warm" if report.warm_started else "cold",
+            report.warm_source if report.warm_source else "-",
+            report.converged_at,
+            report.best_cost,
+        ]
+        for report in result.reports
+    ]
+    blocks.append(
+        format_table(
+            ["session", "device", "workload", "arrival s", "start", "donor",
+             "conv@", "best cost"],
+            rows,
+            title="Per-session outcomes",
+        )
+    )
+    warm = experiment.median_converged_warm
+    cold = experiment.median_converged_cold
+    convergence = [
+        ["median periods to cohort best (cold)", cold if cold is not None else "n/a"],
+        ["median periods to cohort best (warm)", warm if warm is not None else "n/a"],
+    ]
+    if warm is not None and cold is not None:
+        convergence.append(
+            ["warm speed-up (cold/warm)", cold / warm if warm else float("inf")]
+        )
+    blocks.append(format_kv("Cold vs warm convergence", convergence))
+    histogram = [
+        [f"{periods} period(s)", count] for periods, count in result.histogram.items()
+    ]
+    blocks.append(format_kv("Convergence histogram", histogram))
+    example_warm = next((r for r in result.reports if r.warm_started), None)
+    example_cold = next((r for r in result.reports if not r.warm_started), None)
+    series = []
+    if example_cold is not None:
+        series.append(format_series(f"cold {example_cold.session_id}",
+                                    list(example_cold.costs)))
+    if example_warm is not None:
+        series.append(format_series(f"warm {example_warm.session_id}",
+                                    list(example_warm.costs)))
+    if series:
+        blocks.append("Example cost trajectories\n" + "\n".join(series))
+    return "\n\n".join(blocks)
+
+
+if __name__ == "__main__":
+    print(render(run_fleet_experiment()))

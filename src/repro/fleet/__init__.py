@@ -1,0 +1,59 @@
+"""Multi-session fleet serving: N concurrent MAR sessions, one shared
+edge optimizer, cross-session warm starting.
+
+See :mod:`repro.fleet.scheduler` for the run loop, :mod:`repro.fleet.
+store` for the warm-start store, :mod:`repro.fleet.batch` for the batched
+GP service, and ``docs/fleet.md`` for the architecture overview.
+"""
+
+from repro.fleet.batch import (
+    BatchedGPService,
+    SharedOptimizerService,
+    batched_expected_improvement,
+    batched_kernel_matrix,
+)
+from repro.fleet.scheduler import (
+    FleetConfig,
+    FleetResult,
+    FleetScheduler,
+    run_fleet,
+)
+from repro.fleet.session import FleetSession, SessionPhase, SessionSpec
+from repro.fleet.store import (
+    SharedConfigStore,
+    WarmStartEntry,
+    warm_start_entry_from_dict,
+    warm_start_entry_to_dict,
+)
+from repro.fleet.telemetry import (
+    FleetAggregates,
+    FleetSessionReport,
+    convergence_histogram,
+    cost_trajectories,
+    fleet_aggregates,
+    iterations_to_converge,
+)
+
+__all__ = [
+    "BatchedGPService",
+    "SharedOptimizerService",
+    "batched_expected_improvement",
+    "batched_kernel_matrix",
+    "FleetConfig",
+    "FleetResult",
+    "FleetScheduler",
+    "run_fleet",
+    "FleetSession",
+    "SessionPhase",
+    "SessionSpec",
+    "SharedConfigStore",
+    "WarmStartEntry",
+    "warm_start_entry_from_dict",
+    "warm_start_entry_to_dict",
+    "FleetAggregates",
+    "FleetSessionReport",
+    "convergence_histogram",
+    "cost_trajectories",
+    "fleet_aggregates",
+    "iterations_to_converge",
+]

@@ -1,0 +1,224 @@
+"""The fleet scheduler: many MAR sessions against one edge optimizer.
+
+The paper tunes one device; an edge server actually serves *fleets* —
+many users, mixed device models, mixed scenes, arriving and leaving at
+different times. :class:`FleetScheduler` simulates that: sessions are
+admitted from their specs as the shared :class:`~repro.sim.clock.
+SimClock` passes their arrival time, every active session runs one
+control period per tick, and guided-phase proposals for all sessions come
+out of one batched GP pass (:class:`~repro.fleet.batch.
+SharedOptimizerService`) instead of per-session fits.
+
+Determinism contract: ``spawn_rngs(seed, n)`` hands each session its own
+decorrelated stream in spec order, sessions are admitted and stepped in
+spec order, and nothing draws from a shared stream — so one seed
+reproduces the whole fleet trace bit-for-bit regardless of how sessions
+interleave.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.controller import HBOConfig
+from repro.errors import FleetError
+from repro.fleet.batch import SharedOptimizerService
+from repro.fleet.session import FleetSession, SessionPhase, SessionSpec
+from repro.fleet.store import SharedConfigStore
+from repro.fleet.telemetry import (
+    FleetAggregates,
+    FleetSessionReport,
+    convergence_histogram,
+    fleet_aggregates,
+    iterations_to_converge,
+)
+from repro.rng import SeedLike, spawn_rngs
+from repro.sim.clock import SimClock
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Fleet-level knobs (per-session BO knobs live in ``hbo``)."""
+
+    tick_s: float = 1.0  # one control period per session per tick
+    warm_start: bool = True  # consult the shared store on admission
+    hbo: HBOConfig = field(default_factory=HBOConfig)
+
+    def __post_init__(self) -> None:
+        if self.tick_s <= 0:
+            raise FleetError(f"tick_s must be > 0, got {self.tick_s}")
+
+
+@dataclass
+class FleetResult:
+    """Outcome of one fleet run (see :mod:`repro.fleet.telemetry`)."""
+
+    reports: Tuple[FleetSessionReport, ...]
+    aggregates: FleetAggregates
+    histogram: Dict[int, int]
+    store_stats: Dict[str, Any]
+    service_stats: Dict[str, Any]
+    ticks: int
+    tick_s: float
+
+    def report_for(self, session_id: str) -> FleetSessionReport:
+        for report in self.reports:
+            if report.session_id == session_id:
+                return report
+        raise FleetError(f"no session {session_id!r} in this fleet run")
+
+
+class FleetScheduler:
+    """Admits, steps, and drains a fleet of MAR sessions."""
+
+    def __init__(
+        self,
+        specs: Sequence[SessionSpec],
+        seed: SeedLike = None,
+        config: Optional[FleetConfig] = None,
+        store: Optional[SharedConfigStore] = None,
+        service: Optional[SharedOptimizerService] = None,
+    ) -> None:
+        specs = tuple(specs)
+        if not specs:
+            raise FleetError("a fleet needs at least one session spec")
+        ids = [spec.session_id for spec in specs]
+        duplicates = sorted({s for s in ids if ids.count(s) > 1})
+        if duplicates:
+            raise FleetError(f"duplicate session ids: {duplicates}")
+        self.specs = specs
+        self.config = config if config is not None else FleetConfig()
+        self.store = store if store is not None else SharedConfigStore()
+        self.service = service if service is not None else SharedOptimizerService()
+        self.clock = SimClock()
+        rngs = spawn_rngs(seed, len(specs))
+        self.sessions: List[FleetSession] = [
+            FleetSession(spec, self.config.hbo, rng)
+            for spec, rng in zip(specs, rngs)
+        ]
+
+    # ------------------------------------------------------------- stepping
+
+    def _admit_arrivals(self, tick: int) -> None:
+        now_s = self.clock.now_s
+        for session in self.sessions:
+            if (
+                session.phase is SessionPhase.WAITING
+                and session.spec.arrival_s <= now_s
+            ):
+                session.admit(
+                    tick, store=self.store, warm_start=self.config.warm_start
+                )
+
+    def step(self, tick: int) -> None:
+        """One fleet tick: admit, propose (batched), evaluate, retire."""
+        self._admit_arrivals(tick)
+        active = [s for s in self.sessions if s.active]
+        guided = [s for s in active if s.needs_guided_proposal]
+        initial = [s for s in active if not s.needs_guided_proposal]
+        if guided:
+            proposals = self.service.propose(
+                [s.optimizer for s in guided], [s.rng for s in guided]
+            )
+            for session, z in zip(guided, proposals):
+                session.step_guided(z)
+        for session in initial:
+            session.step_initial()
+        for session in active:
+            if session.budget_exhausted:
+                session.finish(tick, store=self.store)
+        self.clock.advance(self.config.tick_s)
+
+    def run(self) -> FleetResult:
+        """Drive the fleet until every session has drained."""
+        max_arrival_s = max(spec.arrival_s for spec in self.specs)
+        max_budget = max(s.budget for s in self.sessions)
+        max_ticks = (
+            int(math.ceil(max_arrival_s / self.config.tick_s)) + max_budget + 4
+        )
+        tick = 0
+        while not all(s.done for s in self.sessions):
+            if tick > max_ticks:
+                stuck = [s.spec.session_id for s in self.sessions if not s.done]
+                raise FleetError(
+                    f"fleet did not drain within {max_ticks} ticks; "
+                    f"stuck sessions: {stuck}"
+                )
+            self.step(tick)
+            tick += 1
+        # Convergence is time-to-target against the best cost anyone in
+        # the same (device, scenario, taskset) cohort ever measured, so
+        # warm and cold sessions are judged against the same bar.
+        cohort_best: Dict[Tuple[str, str, str], float] = {}
+        for session in self.sessions:
+            key = self._cohort_key(session)
+            cohort_best[key] = min(
+                cohort_best.get(key, float("inf")), session.best_cost()
+            )
+        reports = tuple(
+            self._report(s, cohort_best[self._cohort_key(s)])
+            for s in self.sessions
+        )
+        return FleetResult(
+            reports=reports,
+            aggregates=fleet_aggregates(reports),
+            histogram=convergence_histogram(reports),
+            store_stats=self.store.stats(),
+            service_stats={
+                "batches": self.service.batches,
+                "proposals_served": self.service.proposals_served,
+            },
+            ticks=tick,
+            tick_s=self.config.tick_s,
+        )
+
+    # ------------------------------------------------------------ reporting
+
+    @staticmethod
+    def _cohort_key(session: FleetSession) -> Tuple[str, str, str]:
+        spec = session.spec
+        return (spec.device, spec.scenario, spec.taskset)
+
+    def _report(
+        self, session: FleetSession, cohort_best_cost: float
+    ) -> FleetSessionReport:
+        if not session.done or session.start_tick is None or session.end_tick is None:
+            raise FleetError(
+                f"{session.spec.session_id}: cannot report an unfinished session"
+            )
+        costs = tuple(session.costs())
+        assert session.optimizer is not None  # done implies admitted
+        return FleetSessionReport(
+            session_id=session.spec.session_id,
+            device=session.spec.device,
+            scenario=session.spec.scenario,
+            taskset=session.spec.taskset,
+            arrival_s=session.spec.arrival_s,
+            start_tick=session.start_tick,
+            end_tick=session.end_tick,
+            warm_started=session.warm_started,
+            n_warm=session.optimizer.n_warm,
+            warm_source=(
+                session.warm_entry.source_session if session.warm_entry else ""
+            ),
+            costs=costs,
+            latencies_ms=tuple(
+                r.measurement.mean_latency_ms for r in session.results
+            ),
+            qualities=tuple(r.measurement.quality for r in session.results),
+            best_cost=min(costs),
+            cohort_best_cost=cohort_best_cost,
+            converged_at=iterations_to_converge(costs, target=cohort_best_cost),
+        )
+
+
+def run_fleet(
+    specs: Sequence[SessionSpec],
+    seed: SeedLike = None,
+    config: Optional[FleetConfig] = None,
+    store: Optional[SharedConfigStore] = None,
+) -> FleetResult:
+    """Build a scheduler, run the fleet, return the result."""
+    return FleetScheduler(specs, seed=seed, config=config, store=store).run()

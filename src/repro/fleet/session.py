@@ -1,0 +1,247 @@
+"""One MAR session inside a fleet run.
+
+A :class:`FleetSession` is the per-user slice of the fleet: a device +
+scenario + taskset (one :class:`~repro.core.system.MARSystem`), its own
+BO optimizer, and a lifecycle driven by the shared
+:class:`~repro.fleet.scheduler.FleetScheduler` clock:
+
+``WAITING`` (not yet arrived) → ``ACTIVE`` (one control period per fleet
+tick, until the evaluation budget is spent) → ``DONE`` (best
+configuration locked in, observations donated to the shared store).
+
+On admission the session asks the :class:`~repro.fleet.store.
+SharedConfigStore` for a warm start: if a similar environment was already
+solved on the same device model, the donor's observations seed the
+optimizer and the random initialization phase is skipped (see
+:meth:`~repro.bo.optimizer.BayesianOptimizer.warm_start`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.bo.kernels import Matern
+from repro.bo.optimizer import BayesianOptimizer
+from repro.bo.space import HBOSpace
+from repro.core.algorithm import HBOIteration, IterationResult
+from repro.core.controller import HBOConfig
+from repro.core.lookup import EnvironmentSignature
+from repro.core.system import MARSystem
+from repro.device.profiles import PIXEL7
+from repro.errors import FleetError
+from repro.fleet.store import SharedConfigStore, WarmStartEntry
+from repro.sim.scenarios import build_system, place_catalog, scenario_catalog
+
+
+class SessionPhase(enum.Enum):
+    """Lifecycle state of a fleet session."""
+
+    WAITING = "waiting"
+    ACTIVE = "active"
+    DONE = "done"
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """Static description of one fleet session.
+
+    ``placement_seed`` controls object placement *independently* of the
+    session's measurement-noise stream: sessions sharing a placement seed
+    see bit-identical scenes (hence identical environment signatures),
+    which is what makes cross-session warm starting fire.
+    """
+
+    session_id: str
+    device: str = PIXEL7
+    scenario: str = "SC1"
+    taskset: str = "CF1"
+    arrival_s: float = 0.0
+    placement_seed: int = 7
+    noise_sigma: float = 0.04
+    samples_per_period: int = 20
+    #: Override the per-session evaluation budget (defaults to the HBO
+    #: config's ``total_evaluations``).
+    n_evaluations: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.session_id:
+            raise FleetError("session_id must be non-empty")
+        if self.arrival_s < 0:
+            raise FleetError(
+                f"{self.session_id}: arrival_s must be >= 0, got {self.arrival_s}"
+            )
+        if self.n_evaluations is not None and self.n_evaluations < 1:
+            raise FleetError(
+                f"{self.session_id}: n_evaluations must be >= 1, "
+                f"got {self.n_evaluations}"
+            )
+
+
+class FleetSession:
+    """Runtime state of one session; stepped by the scheduler."""
+
+    def __init__(
+        self,
+        spec: SessionSpec,
+        config: HBOConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        self.spec = spec
+        self.config = config
+        self.rng = rng
+        self.phase = SessionPhase.WAITING
+        self.system: Optional[MARSystem] = None
+        self.optimizer: Optional[BayesianOptimizer] = None
+        self.iteration: Optional[HBOIteration] = None
+        self.signature: Optional[EnvironmentSignature] = None
+        self.results: List[IterationResult] = []
+        self.warm_entry: Optional[WarmStartEntry] = None
+        self.start_tick: Optional[int] = None
+        self.end_tick: Optional[int] = None
+        self.budget = (
+            spec.n_evaluations
+            if spec.n_evaluations is not None
+            else config.total_evaluations
+        )
+
+    # --------------------------------------------------------------- states
+
+    @property
+    def active(self) -> bool:
+        return self.phase is SessionPhase.ACTIVE
+
+    @property
+    def done(self) -> bool:
+        return self.phase is SessionPhase.DONE
+
+    @property
+    def warm_started(self) -> bool:
+        return self.optimizer is not None and self.optimizer.warm_started
+
+    @property
+    def needs_guided_proposal(self) -> bool:
+        """True when this tick's proposal should come from the shared
+        batched GP pass instead of the session's own random sampler."""
+        return (
+            self.active
+            and self.optimizer is not None
+            and not self.optimizer.in_initial_phase
+        )
+
+    # ------------------------------------------------------------ lifecycle
+
+    def admit(
+        self,
+        tick: int,
+        store: Optional[SharedConfigStore] = None,
+        warm_start: bool = True,
+    ) -> None:
+        """Bring the session up: build its system, consult the store, and
+        construct a (possibly warm-started) optimizer."""
+        if self.phase is not SessionPhase.WAITING:
+            raise FleetError(f"{self.spec.session_id}: admitted twice")
+        spec = self.spec
+        # Placement is keyed by the spec (shared within a cohort); the
+        # noise stream comes from the session's own decorrelated rng.
+        session_seed = int(self.rng.integers(0, 2**31))
+        self.system = build_system(
+            spec.scenario,
+            spec.taskset,
+            device=spec.device,
+            seed=session_seed,
+            noise_sigma=spec.noise_sigma,
+            samples_per_period=spec.samples_per_period,
+            place_objects=False,
+        )
+        place_catalog(
+            self.system.scene,
+            scenario_catalog(spec.scenario),
+            seed=spec.placement_seed,
+        )
+        self.signature = EnvironmentSignature.of(self.system)
+
+        cfg = self.config
+        space = HBOSpace(self.system.n_resources, r_min=cfg.r_min)
+        self.optimizer = BayesianOptimizer(
+            space=space,
+            n_initial=cfg.n_initial,
+            kernel=Matern(length_scale=cfg.kernel_length_scale, nu=2.5),
+            noise=cfg.noise,
+            seed=self.rng,
+        )
+        if store is not None and warm_start:
+            entry = store.warm_start_for(self.signature, scope=spec.device)
+            if entry is not None and entry.observations:
+                self.optimizer.warm_start(entry.to_observations())
+                self.warm_entry = entry
+        self.iteration = HBOIteration(
+            self.system, self.optimizer, w=cfg.w, latency_only=cfg.latency_only
+        )
+        self.phase = SessionPhase.ACTIVE
+        self.start_tick = tick
+
+    def step_initial(self) -> IterationResult:
+        """One control period with the session's own (random-phase) ask."""
+        if not self.active or self.iteration is None:
+            raise FleetError(f"{self.spec.session_id}: stepped while not active")
+        result = self.iteration.run_once()
+        self.results.append(result)
+        return result
+
+    def step_guided(self, z: np.ndarray) -> IterationResult:
+        """One control period evaluating a proposal computed by the shared
+        batched optimizer service."""
+        if not self.active or self.iteration is None or self.optimizer is None:
+            raise FleetError(f"{self.spec.session_id}: stepped while not active")
+        z = np.asarray(z, dtype=float).ravel()
+        self.optimizer.state.proposals.append(z.copy())
+        result = self.iteration.evaluate(z)
+        self.results.append(result)
+        return result
+
+    @property
+    def budget_exhausted(self) -> bool:
+        return len(self.results) >= self.budget
+
+    def finish(
+        self, tick: int, store: Optional[SharedConfigStore] = None
+    ) -> None:
+        """Lock in the best configuration and donate to the shared store."""
+        if not self.active:
+            raise FleetError(f"{self.spec.session_id}: finished while not active")
+        if not self.results or self.system is None or self.optimizer is None:
+            raise FleetError(
+                f"{self.spec.session_id}: finished with no evaluations"
+            )
+        best = min(self.results, key=lambda r: r.cost)
+        self.system.apply(dict(best.allocation), best.triangle_ratio)
+        if store is not None and self.signature is not None:
+            # Donate only this session's own measurements — warm-start
+            # observations would otherwise echo through the fleet forever.
+            own = self.optimizer.state.observations[self.optimizer.n_warm :]
+            store.donate(
+                signature=self.signature,
+                allocation=dict(best.allocation),
+                triangle_ratio=best.triangle_ratio,
+                reward=-best.cost,
+                observations=own,
+                scope=self.spec.device,
+                session_id=self.spec.session_id,
+            )
+        self.phase = SessionPhase.DONE
+        self.end_tick = tick
+
+    # ------------------------------------------------------------ reporting
+
+    def costs(self) -> List[float]:
+        """Measured cost per control period, in evaluation order."""
+        return [r.cost for r in self.results]
+
+    def best_cost(self) -> float:
+        if not self.results:
+            raise FleetError(f"{self.spec.session_id}: no evaluations yet")
+        return min(r.cost for r in self.results)

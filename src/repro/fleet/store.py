@@ -1,0 +1,290 @@
+"""Shared configuration store: the §VI lookup table generalized across
+sessions.
+
+:class:`~repro.core.lookup.LookupTable` remembers configurations for one
+device's environments. A fleet-serving edge optimizer can do better: when
+a *new* session arrives whose :class:`~repro.core.lookup.
+EnvironmentSignature` resembles one an earlier session already solved,
+the stored entry also carries the donor's BO *observations*, so the
+newcomer warm-starts its optimizer from real (configuration, cost) pairs
+instead of cold random initialization.
+
+:class:`SharedConfigStore` partitions entries by *scope* (the fleet keys
+scopes by device model, so a Pixel 7 never warm-starts from Galaxy S22
+measurements) and tracks fleet-wide hit/transfer rates. The whole store
+serializes to JSON, so warm-start state survives across fleet runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bo.optimizer import Observation
+from repro.core.lookup import (
+    EnvironmentSignature,
+    LookupTable,
+    PathLike,
+    StoredConfiguration,
+    signature_from_dict,
+    signature_to_dict,
+)
+from repro.device.resources import Resource, resource_from_name
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WarmStartEntry(StoredConfiguration):
+    """A stored configuration plus the BO observations that found it.
+
+    ``observations`` holds (z vector, cost) pairs as plain tuples so the
+    entry is hashable and JSON-serializable; rebuild optimizer-ready
+    :class:`~repro.bo.optimizer.Observation` objects with
+    :meth:`to_observations`.
+    """
+
+    observations: Tuple[Tuple[Tuple[float, ...], float], ...] = ()
+    source_session: str = ""
+
+    def to_observations(self) -> List[Observation]:
+        """Optimizer-ready observations (lowest donor cost first)."""
+        return [
+            Observation(z=np.asarray(z, dtype=float), cost=float(cost))
+            for z, cost in self.observations
+        ]
+
+
+def warm_start_entry_to_dict(entry: WarmStartEntry) -> Dict[str, Any]:
+    """Serialize a :class:`WarmStartEntry` to plain JSON types."""
+    return {
+        "signature": signature_to_dict(entry.signature),
+        "allocation": {task: str(res) for task, res in entry.allocation.items()},
+        "triangle_ratio": entry.triangle_ratio,
+        "reward": entry.reward,
+        "observations": [
+            {"z": list(z), "cost": cost} for z, cost in entry.observations
+        ],
+        "source_session": entry.source_session,
+    }
+
+
+def warm_start_entry_from_dict(data: Mapping[str, Any]) -> WarmStartEntry:
+    """Rebuild a :class:`WarmStartEntry` from its exported form."""
+    return WarmStartEntry(
+        signature=signature_from_dict(data["signature"]),
+        allocation={
+            task: resource_from_name(name)
+            for task, name in data["allocation"].items()
+        },
+        triangle_ratio=float(data["triangle_ratio"]),
+        reward=float(data["reward"]),
+        observations=tuple(
+            (tuple(float(v) for v in obs["z"]), float(obs["cost"]))
+            for obs in data.get("observations", [])
+        ),
+        source_session=str(data.get("source_session", "")),
+    )
+
+
+class SharedConfigStore:
+    """Cross-session warm-start store for a fleet-serving edge optimizer.
+
+    One :class:`~repro.core.lookup.LookupTable` per *scope* (device
+    model), holding :class:`WarmStartEntry` values. Lookup hits within a
+    scope transfer the donor's observations to the requesting session;
+    the store counts donations, lookups, and transfers fleet-wide.
+
+    Parameters
+    ----------
+    max_entries_per_scope:
+        Bound of each scope's table (LRU-by-hit eviction, inherited from
+        :class:`LookupTable`).
+    similarity_threshold:
+        Maximum :meth:`EnvironmentSignature.distance_to` for a hit. The
+        fleet default is looser than the single-device lookup default
+        (0.35 vs 0.15): a warm start only *seeds* BO, which then refines,
+        so approximate donors are still useful.
+    max_observations:
+        Observations kept per donated entry (the lowest-cost ones); bounds
+        both the store's footprint and the warm-start payload.
+    """
+
+    def __init__(
+        self,
+        max_entries_per_scope: int = 64,
+        similarity_threshold: float = 0.35,
+        max_observations: int = 8,
+    ) -> None:
+        if max_observations < 1:
+            raise ConfigurationError(
+                f"max_observations must be >= 1, got {max_observations}"
+            )
+        self.max_entries_per_scope = int(max_entries_per_scope)
+        self.similarity_threshold = float(similarity_threshold)
+        self.max_observations = int(max_observations)
+        self._tables: Dict[str, LookupTable] = {}
+        self.donations = 0
+        self.transfers = 0
+
+    # ------------------------------------------------------------- tables
+
+    def table_for(self, scope: str = "") -> LookupTable:
+        """The scope's table, created on first use."""
+        if scope not in self._tables:
+            self._tables[scope] = LookupTable(
+                max_entries=self.max_entries_per_scope,
+                similarity_threshold=self.similarity_threshold,
+            )
+        return self._tables[scope]
+
+    def scopes(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._tables))
+
+    def __len__(self) -> int:
+        return sum(len(table) for table in self._tables.values())
+
+    # ------------------------------------------------------------ protocol
+
+    def donate(
+        self,
+        signature: EnvironmentSignature,
+        allocation: Mapping[str, Resource],
+        triangle_ratio: float,
+        reward: float,
+        observations: Sequence[Observation],
+        scope: str = "",
+        session_id: str = "",
+    ) -> WarmStartEntry:
+        """Store a finished session's best configuration and the
+        observations that found it; returns the stored entry."""
+        kept = sorted(observations, key=lambda o: o.cost)[: self.max_observations]
+        entry = WarmStartEntry(
+            signature=signature,
+            allocation=dict(allocation),
+            triangle_ratio=float(triangle_ratio),
+            reward=float(reward),
+            observations=tuple(
+                (tuple(float(v) for v in o.z), float(o.cost)) for o in kept
+            ),
+            source_session=session_id,
+        )
+        self.table_for(scope).store(entry)
+        self.donations += 1
+        return entry
+
+    def warm_start_for(
+        self, signature: EnvironmentSignature, scope: str = ""
+    ) -> Optional[WarmStartEntry]:
+        """Closest donated entry within the similarity threshold, or None.
+
+        A hit that carries observations counts as a *transfer* (the
+        fleet-wide statistic the warm-vs-cold experiment reports).
+        """
+        entry = self.table_for(scope).lookup(signature)
+        if entry is None:
+            return None
+        if not isinstance(entry, WarmStartEntry):
+            # A plain StoredConfiguration (e.g. loaded from a legacy
+            # single-device table) has no observations to transfer.
+            entry = WarmStartEntry(
+                signature=entry.signature,
+                allocation=entry.allocation,
+                triangle_ratio=entry.triangle_ratio,
+                reward=entry.reward,
+            )
+        if entry.observations:
+            self.transfers += 1
+        return entry
+
+    # ------------------------------------------------------------- metrics
+
+    @property
+    def hits(self) -> int:
+        return sum(t.hits for t in self._tables.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(t.misses for t in self._tables.values())
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
+    def transfer_rate(self) -> float:
+        """Fraction of lookups that shipped donor observations."""
+        total = self.hits + self.misses
+        return self.transfers / total if total else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        """Fleet-wide counters, JSON-ready (used by telemetry export)."""
+        return {
+            "entries": len(self),
+            "scopes": list(self.scopes()),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "donations": self.donations,
+            "transfers": self.transfers,
+            "transfer_rate": self.transfer_rate,
+        }
+
+    # -------------------------------------------------------- persistence
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize the whole store (all scopes, entries, counters)."""
+        scopes_data: Dict[str, Any] = {}
+        for scope in self.scopes():
+            table = self._tables[scope]
+            scopes_data[scope] = {
+                "hits": table.hits,
+                "misses": table.misses,
+                "entries": [
+                    warm_start_entry_to_dict(e)
+                    for e in table.entries()
+                    if isinstance(e, WarmStartEntry)
+                ],
+            }
+        return {
+            "max_entries_per_scope": self.max_entries_per_scope,
+            "similarity_threshold": self.similarity_threshold,
+            "max_observations": self.max_observations,
+            "donations": self.donations,
+            "transfers": self.transfers,
+            "scopes": scopes_data,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SharedConfigStore":
+        """Rebuild a store from :meth:`to_dict` output."""
+        store = cls(
+            max_entries_per_scope=int(data["max_entries_per_scope"]),
+            similarity_threshold=float(data["similarity_threshold"]),
+            max_observations=int(data["max_observations"]),
+        )
+        for scope, scope_data in data.get("scopes", {}).items():
+            table = store.table_for(scope)
+            for entry_data in scope_data.get("entries", []):
+                table.store(warm_start_entry_from_dict(entry_data))
+            table.hits = int(scope_data.get("hits", 0))
+            table.misses = int(scope_data.get("misses", 0))
+        store.donations = int(data.get("donations", 0))
+        store.transfers = int(data.get("transfers", 0))
+        return store
+
+    def save(self, path: PathLike) -> None:
+        """Write the store to ``path`` as pretty-printed JSON."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+
+    @classmethod
+    def load(cls, path: PathLike) -> "SharedConfigStore":
+        """Read a store previously written by :meth:`save`."""
+        data = json.loads(Path(path).read_text())
+        if not isinstance(data, dict):
+            raise ConfigurationError(f"{path}: expected a JSON object at top level")
+        return cls.from_dict(data)

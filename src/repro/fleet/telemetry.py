@@ -1,0 +1,141 @@
+"""Fleet telemetry: per-session trajectories and fleet-wide aggregates.
+
+The warm-vs-cold experiment needs two read-outs per session — the cost
+trajectory (did BO find a good configuration?) and the number of control
+periods it took to get close to its eventual best (how fast?) — plus
+fleet-level percentiles of the latencies and qualities users actually
+experienced while the optimizers explored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import FleetError
+
+#: Absolute floor of the convergence band: HBO cost measurements carry
+#: noise of roughly this magnitude (per-period means of noisy latencies
+#: through the w-weighted cost), so a tighter band would measure lucky
+#: noise draws instead of convergence.
+CONVERGENCE_FLOOR = 0.2
+
+
+def iterations_to_converge(
+    costs: Sequence[float],
+    rel_tol: float = 0.05,
+    floor: float = CONVERGENCE_FLOOR,
+    target: Optional[float] = None,
+) -> int:
+    """Control periods until the measured cost first came within
+    ``rel_tol`` of ``target`` (1-based; the time-to-target metric).
+
+    ``target`` defaults to the trajectory's own best; the fleet passes the
+    best cost any session of the same cohort ever measured, so warm and
+    cold sessions chase the *same* bar. The band is ``target +
+    max(rel_tol * |target|, floor)``; a trajectory that never enters it
+    is censored at its own length.
+    """
+    if not costs:
+        raise FleetError("cannot compute convergence of an empty trajectory")
+    if rel_tol < 0:
+        raise FleetError(f"rel_tol must be >= 0, got {rel_tol}")
+    bar = min(costs) if target is None else float(target)
+    threshold = bar + max(rel_tol * abs(bar), floor)
+    for i, cost in enumerate(costs):
+        if cost <= threshold:
+            return i + 1
+    return len(costs)
+
+
+@dataclass(frozen=True)
+class FleetSessionReport:
+    """Everything the fleet remembers about one finished session."""
+
+    session_id: str
+    device: str
+    scenario: str
+    taskset: str
+    arrival_s: float
+    start_tick: int
+    end_tick: int
+    warm_started: bool
+    n_warm: int
+    warm_source: str  # donor session id, "" when cold
+    costs: Tuple[float, ...]
+    latencies_ms: Tuple[float, ...]  # mean frame latency per control period
+    qualities: Tuple[float, ...]
+    best_cost: float
+    cohort_best_cost: float  # best cost any same-cohort session measured
+    converged_at: int  # time-to-cohort-target, see iterations_to_converge
+
+    def __post_init__(self) -> None:
+        if not self.costs:
+            raise FleetError(f"{self.session_id}: report has no evaluations")
+        if len(self.latencies_ms) != len(self.costs) or len(self.qualities) != len(
+            self.costs
+        ):
+            raise FleetError(
+                f"{self.session_id}: trajectory lengths disagree "
+                f"({len(self.costs)} costs, {len(self.latencies_ms)} latencies, "
+                f"{len(self.qualities)} qualities)"
+            )
+
+
+@dataclass(frozen=True)
+class FleetAggregates:
+    """Fleet-wide summary over every control period of every session."""
+
+    n_sessions: int
+    n_evaluations: int
+    p50_latency_ms: float
+    p95_latency_ms: float
+    p50_quality: float
+    p95_quality: float
+    mean_best_cost: float
+    median_converged_warm: Optional[float]  # None when no warm sessions
+    median_converged_cold: Optional[float]  # None when no cold sessions
+
+
+def fleet_aggregates(reports: Sequence[FleetSessionReport]) -> FleetAggregates:
+    """Pool every session's per-period measurements into fleet percentiles
+    and split median convergence by warm/cold start."""
+    if not reports:
+        raise FleetError("cannot aggregate an empty fleet")
+    latencies = np.concatenate([np.asarray(r.latencies_ms) for r in reports])
+    qualities = np.concatenate([np.asarray(r.qualities) for r in reports])
+    warm = [r.converged_at for r in reports if r.warm_started]
+    cold = [r.converged_at for r in reports if not r.warm_started]
+    return FleetAggregates(
+        n_sessions=len(reports),
+        n_evaluations=int(latencies.shape[0]),
+        p50_latency_ms=float(np.percentile(latencies, 50)),
+        p95_latency_ms=float(np.percentile(latencies, 95)),
+        p50_quality=float(np.percentile(qualities, 50)),
+        p95_quality=float(np.percentile(qualities, 95)),
+        mean_best_cost=float(np.mean([r.best_cost for r in reports])),
+        median_converged_warm=float(np.median(warm)) if warm else None,
+        median_converged_cold=float(np.median(cold)) if cold else None,
+    )
+
+
+def convergence_histogram(
+    reports: Sequence[FleetSessionReport],
+) -> Dict[int, int]:
+    """How many sessions converged after exactly k control periods."""
+    histogram: Dict[int, int] = {}
+    for report in reports:
+        histogram[report.converged_at] = histogram.get(report.converged_at, 0) + 1
+    return dict(sorted(histogram.items()))
+
+
+def cost_trajectories(
+    reports: Sequence[FleetSessionReport],
+) -> Dict[str, List[float]]:
+    """Running-minimum cost per session (the Fig. 4c-style series)."""
+    return {
+        r.session_id: np.minimum.accumulate(np.asarray(r.costs)).tolist()
+        for r in reports
+    }

@@ -1,0 +1,219 @@
+"""Unit tests for the cross-session warm-start store."""
+
+import numpy as np
+import pytest
+
+from repro.bo.optimizer import Observation
+from repro.core.lookup import EnvironmentSignature, LookupTable, StoredConfiguration
+from repro.device.resources import Resource
+from repro.errors import ConfigurationError
+from repro.fleet.store import (
+    SharedConfigStore,
+    WarmStartEntry,
+    warm_start_entry_from_dict,
+    warm_start_entry_to_dict,
+)
+
+
+def _signature(tri=1_000_000, n=5, dist=1.5, tasks=("a", "b")):
+    return EnvironmentSignature(
+        total_max_triangles=tri,
+        n_objects=n,
+        mean_distance_m=dist,
+        taskset_key=tuple(tasks),
+    )
+
+
+_ALLOCATION = {"a": Resource.CPU, "b": Resource.NNAPI}
+
+
+def _observations(costs):
+    return [
+        Observation(z=np.array([0.2, 0.3, 0.5, 0.4 + 0.01 * i]), cost=c)
+        for i, c in enumerate(costs)
+    ]
+
+
+class TestWarmStartEntry:
+    def test_to_observations_round_trip(self):
+        entry = WarmStartEntry(
+            signature=_signature(),
+            allocation=_ALLOCATION,
+            triangle_ratio=0.7,
+            reward=0.4,
+            observations=(((0.2, 0.3, 0.5, 0.4), -0.4), ((0.1, 0.4, 0.5, 0.6), 0.1)),
+            source_session="donor",
+        )
+        observations = entry.to_observations()
+        assert len(observations) == 2
+        assert observations[0].cost == pytest.approx(-0.4)
+        assert np.allclose(observations[0].z, [0.2, 0.3, 0.5, 0.4])
+
+    def test_dict_round_trip(self):
+        entry = WarmStartEntry(
+            signature=_signature(),
+            allocation=_ALLOCATION,
+            triangle_ratio=0.7,
+            reward=0.4,
+            observations=(((0.2, 0.3, 0.5, 0.4), -0.4),),
+            source_session="donor",
+        )
+        rebuilt = warm_start_entry_from_dict(warm_start_entry_to_dict(entry))
+        assert rebuilt == entry
+
+
+class TestSharedConfigStoreProtocol:
+    def test_donate_then_warm_start(self):
+        store = SharedConfigStore()
+        store.donate(
+            signature=_signature(),
+            allocation=_ALLOCATION,
+            triangle_ratio=0.7,
+            reward=0.4,
+            observations=_observations([0.5, -0.2, 0.1]),
+            scope="pixel7",
+            session_id="donor",
+        )
+        entry = store.warm_start_for(_signature(), scope="pixel7")
+        assert entry is not None
+        assert entry.source_session == "donor"
+        assert len(entry.observations) == 3
+        assert store.donations == 1
+        assert store.transfers == 1
+        assert store.hit_rate == pytest.approx(1.0)
+        assert store.transfer_rate == pytest.approx(1.0)
+
+    def test_scopes_are_isolated(self):
+        store = SharedConfigStore()
+        store.donate(
+            signature=_signature(),
+            allocation=_ALLOCATION,
+            triangle_ratio=0.7,
+            reward=0.4,
+            observations=_observations([0.1]),
+            scope="pixel7",
+        )
+        assert store.warm_start_for(_signature(), scope="s22") is None
+        assert store.warm_start_for(_signature(), scope="pixel7") is not None
+        assert store.scopes() == ("pixel7", "s22")
+
+    def test_keeps_lowest_cost_observations(self):
+        store = SharedConfigStore(max_observations=2)
+        entry = store.donate(
+            signature=_signature(),
+            allocation=_ALLOCATION,
+            triangle_ratio=0.7,
+            reward=0.4,
+            observations=_observations([0.5, -0.2, 0.1, 0.9]),
+        )
+        kept_costs = [cost for _z, cost in entry.observations]
+        assert kept_costs == [-0.2, 0.1]
+
+    def test_miss_counts_but_does_not_transfer(self):
+        store = SharedConfigStore()
+        assert store.warm_start_for(_signature()) is None
+        assert store.misses == 1
+        assert store.transfers == 0
+        assert store.transfer_rate == 0.0
+
+    def test_legacy_entry_without_observations(self):
+        """A plain StoredConfiguration hit returns a configuration-only
+        entry and does not count as a transfer."""
+        store = SharedConfigStore()
+        store.table_for("").store(
+            StoredConfiguration(
+                signature=_signature(),
+                allocation=_ALLOCATION,
+                triangle_ratio=0.6,
+                reward=0.2,
+            )
+        )
+        entry = store.warm_start_for(_signature())
+        assert isinstance(entry, WarmStartEntry)
+        assert entry.observations == ()
+        assert store.transfers == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SharedConfigStore(max_observations=0)
+
+
+class TestSharedConfigStorePersistence:
+    def _populated(self):
+        store = SharedConfigStore(max_entries_per_scope=8, similarity_threshold=0.3)
+        store.donate(
+            signature=_signature(tri=900_000),
+            allocation=_ALLOCATION,
+            triangle_ratio=0.6,
+            reward=0.3,
+            observations=_observations([0.4, -0.1]),
+            scope="pixel7",
+            session_id="p0",
+        )
+        store.donate(
+            signature=_signature(tri=2_000_000, tasks=("x", "y")),
+            allocation=_ALLOCATION,
+            triangle_ratio=0.9,
+            reward=0.8,
+            observations=_observations([0.2]),
+            scope="s22",
+            session_id="g0",
+        )
+        store.warm_start_for(_signature(tri=900_000), scope="pixel7")
+        store.warm_start_for(_signature(tri=5, n=99), scope="pixel7")  # miss
+        return store
+
+    def test_dict_round_trip(self):
+        store = self._populated()
+        rebuilt = SharedConfigStore.from_dict(store.to_dict())
+        assert rebuilt.stats() == store.stats()
+        assert rebuilt.to_dict() == store.to_dict()
+        entry = rebuilt.warm_start_for(_signature(tri=900_000), scope="pixel7")
+        assert entry is not None and entry.source_session == "p0"
+
+    def test_save_load(self, tmp_path):
+        store = self._populated()
+        path = tmp_path / "store.json"
+        store.save(path)
+        rebuilt = SharedConfigStore.load(path)
+        assert rebuilt.to_dict() == store.to_dict()
+
+    def test_load_rejects_non_object(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ConfigurationError):
+            SharedConfigStore.load(path)
+
+
+class TestLookupTablePersistence:
+    """JSON round-trip of the underlying single-device table."""
+
+    def test_round_trip_preserves_entries_and_counters(self, tmp_path):
+        table = LookupTable(max_entries=4, similarity_threshold=0.2)
+        table.store(
+            StoredConfiguration(
+                signature=_signature(tri=500_000),
+                allocation=_ALLOCATION,
+                triangle_ratio=0.5,
+                reward=0.1,
+            )
+        )
+        table.store(
+            StoredConfiguration(
+                signature=_signature(tri=3_000_000, tasks=("q",)),
+                allocation={"q": Resource.GPU_DELEGATE},
+                triangle_ratio=0.8,
+                reward=0.5,
+            )
+        )
+        table.lookup(_signature(tri=500_000))  # hit
+        table.lookup(_signature(tri=500, n=50))  # miss
+        path = tmp_path / "table.json"
+        table.save(path)
+        rebuilt = LookupTable.load(path)
+        assert len(rebuilt) == 2
+        assert rebuilt.hits == 1 and rebuilt.misses == 1
+        assert rebuilt.to_dict() == table.to_dict()
+        hit = rebuilt.lookup(_signature(tri=3_000_000, tasks=("q",)))
+        assert hit is not None
+        assert hit.allocation["q"] is Resource.GPU_DELEGATE

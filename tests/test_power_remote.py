@@ -168,3 +168,71 @@ class TestOffloadedController:
         # seeding is a tell-only exchange.
         assert stats.exchanges == 2 * fast_config.total_evaluations + 1
         assert stats.network_ms > 0
+
+
+class TestBatchedOffload:
+    def _proxy(self, space_dim=3, seed=0):
+        return RemoteOptimizerProxy(
+            BayesianOptimizer(HBOSpace(space_dim), seed=seed),
+            link=NetworkLink(jitter_ms=0.0),
+            seed=seed,
+        )
+
+    def test_tell_many_is_one_exchange(self, rng):
+        proxy = self._proxy()
+        batch = [(z, float(i)) for i, z in
+                 enumerate(proxy.space.sample(rng, size=6))]
+        proxy.tell_many(batch)
+        assert proxy.stats.exchanges == 1
+        assert proxy.stats.batched_exchanges == 1
+        assert proxy.stats.batched_observations == 6
+        assert proxy.n_observations == 6
+        # One shared frame for the batch, not one per observation.
+        per_obs = 4 * proxy.space.dim + 4
+        assert proxy.stats.bytes_up == 6 * per_obs + 16
+        assert proxy.stats.network_ms > 0
+
+    def test_tell_many_beats_per_observation_tells(self, rng):
+        batched, unbatched = self._proxy(seed=1), self._proxy(seed=1)
+        observations = [(z, 0.5) for z in unbatched.space.sample(rng, size=8)]
+        batched.tell_many(observations)
+        for z, cost in observations:
+            unbatched.tell(z, cost)
+        assert batched.stats.total_bytes < unbatched.stats.total_bytes
+        assert batched.stats.exchanges == 1
+        assert unbatched.stats.exchanges == 8
+        assert unbatched.stats.batched_exchanges == 0
+
+    def test_empty_batch_is_free(self):
+        proxy = self._proxy()
+        proxy.tell_many([])
+        assert proxy.stats.exchanges == 0
+        assert proxy.stats.total_bytes == 0
+
+    def test_warm_start_accounts_one_batch(self, rng):
+        from repro.bo.optimizer import Observation
+
+        proxy = self._proxy()
+        donors = [
+            Observation(z=z, cost=float(i))
+            for i, z in enumerate(proxy.space.sample(rng, size=5))
+        ]
+        assert proxy.warm_start(donors) == 5
+        assert proxy.stats.batched_exchanges == 1
+        assert proxy.stats.batched_observations == 5
+        assert proxy.n_observations == 5
+        assert proxy.stats.exchanges == 1
+        fresh = self._proxy(seed=2)
+        assert fresh.warm_start([]) == 0  # no traffic for an empty donation
+        assert fresh.stats.exchanges == 0
+
+    def test_mean_bytes_per_exchange_shrinks_with_batching(self, rng):
+        proxy = self._proxy()
+        assert proxy.stats.mean_bytes_per_exchange == 0.0
+        z = proxy.ask()
+        proxy.tell(z, 0.1)
+        small = proxy.stats.mean_bytes_per_exchange
+        proxy.tell_many([(w, 0.2) for w in proxy.space.sample(rng, size=10)])
+        assert proxy.stats.mean_bytes_per_exchange > small  # bigger frames...
+        per_observation = proxy.stats.total_bytes / proxy.n_observations
+        assert per_observation < small  # ...but cheaper per observation

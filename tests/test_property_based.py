@@ -6,6 +6,8 @@ accounting, Eq. 1/Eq. 4 bounds, the GP posterior, and the contention
 model's monotonicity.
 """
 
+import json
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -21,13 +23,17 @@ from repro.ar.objects import object_by_name
 from repro.bo.gp import GaussianProcess
 from repro.bo.space import HBOSpace, SimplexSpace
 from repro.core.allocation import allocate_tasks, proportions_to_counts
+from repro.core.controller import HBOConfig
+from repro.core.lookup import EnvironmentSignature
 from repro.core.cost import normalized_average_latency
 from repro.device.contention import ContentionModel, SystemLoad, TaskPlacement
 from repro.device.profiles import GALAXY_S22, PIXEL7, get_profile
 from repro.device.resources import Resource
 from repro.device.soc import galaxy_s22_soc
+from repro.fleet import FleetConfig, SessionSpec, run_fleet
 from repro.models.tasks import taskset_cf1
 from repro.rng import make_rng, spawn_rngs
+from repro.sim.export import fleet_result_to_dict
 
 finite_floats = st.floats(
     min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False
@@ -380,3 +386,74 @@ class TestSimplexProjectionContract:
         once = space.project(v)
         twice = space.project(once)
         assert np.allclose(once, twice, atol=1e-9)
+
+
+signature_strategy = st.builds(
+    EnvironmentSignature,
+    total_max_triangles=st.floats(
+        min_value=0.0, max_value=1e8, allow_nan=False, allow_infinity=False
+    ),
+    n_objects=st.integers(0, 200),
+    mean_distance_m=st.floats(
+        min_value=0.0, max_value=50.0, allow_nan=False, allow_infinity=False
+    ),
+    taskset_key=st.sampled_from([("a",), ("a", "b"), ("x", "y", "z")]),
+)
+
+
+class TestSignatureDistanceProperties:
+    """distance_to must behave like a dissimilarity: the lookup table and
+    the fleet's warm-start store both rank candidates by it."""
+
+    @given(a=signature_strategy, b=signature_strategy)
+    @settings(max_examples=300, deadline=None)
+    def test_symmetric(self, a, b):
+        assert a.distance_to(b) == b.distance_to(a)
+
+    @given(a=signature_strategy, b=signature_strategy)
+    @settings(max_examples=300, deadline=None)
+    def test_non_negative(self, a, b):
+        assert a.distance_to(b) >= 0.0
+
+    @given(a=signature_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_self_distance_zero(self, a):
+        assert a.distance_to(a) == 0.0
+
+    @given(a=signature_strategy, b=signature_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_infinite_iff_tasksets_differ(self, a, b):
+        d = a.distance_to(b)
+        if a.taskset_key == b.taskset_key:
+            assert np.isfinite(d)
+        else:
+            assert d == float("inf")
+
+
+class TestFleetDeterminismProperty:
+    """One seed must reproduce the whole fleet trace bit-for-bit, however
+    the sessions' arrivals interleave."""
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        arrivals=st.lists(
+            st.floats(min_value=0.0, max_value=6.0, allow_nan=False),
+            min_size=1,
+            max_size=3,
+        ),
+    )
+    @settings(max_examples=5, deadline=None)
+    def test_same_seed_same_trace(self, seed, arrivals):
+        specs = [
+            SessionSpec(session_id=f"s{i}", arrival_s=arrival_s, noise_sigma=0.02)
+            for i, arrival_s in enumerate(arrivals)
+        ]
+        config = FleetConfig(hbo=HBOConfig(n_initial=2, n_iterations=1))
+        traces = [
+            json.dumps(
+                fleet_result_to_dict(run_fleet(specs, seed=seed, config=config)),
+                sort_keys=True,
+            )
+            for _ in range(2)
+        ]
+        assert traces[0] == traces[1]
