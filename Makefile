@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: reprolint ruff mypy lint test fleet-smoke check
+.PHONY: reprolint ruff mypy lint test fleet-smoke trace-smoke check
 
 reprolint:
 	PYTHONPATH=tools $(PYTHON) -m reprolint src benchmarks examples
@@ -34,4 +34,11 @@ test:
 fleet-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro fleet --sessions 8 --initial 3 --iterations 5
 
-check: lint test fleet-smoke
+# A tiny traced fleet: `repro trace` exits non-zero unless the emitted
+# file is a non-empty, schema-valid Chrome trace that round-trips.
+trace-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro trace --fleet 4 --initial 2 --iterations 3 \
+		--out /tmp/repro-trace-smoke.trace.json \
+		--metrics /tmp/repro-trace-smoke.metrics.json
+
+check: lint test fleet-smoke trace-smoke

@@ -18,6 +18,8 @@ built here too:
 - :mod:`repro.sim` — scripted sessions and the §IV-E monitoring loop.
 - :mod:`repro.fleet` — multi-session fleet serving with a shared edge
   optimizer, batched GP proposals, and cross-session warm starting.
+- :mod:`repro.obs` — observability: deterministic sim-time tracing,
+  a metrics registry, and Perfetto-loadable trace export.
 - :mod:`repro.experiments` — a driver per paper table/figure.
 - :mod:`repro.userstudy` — the simulated §V-E rater panel.
 
@@ -64,6 +66,7 @@ from repro.fleet import (
     run_fleet,
 )
 from repro.models import ModelZoo, TaskSet, taskset_cf1, taskset_cf2
+from repro.obs import MetricsRegistry, Tracer, instrumented
 from repro.sim import MonitoringEngine
 from repro.sim.scenarios import build_system, fig8_event_script
 from repro.units import Ms, Seconds, ms_to_s, s_to_ms
@@ -91,6 +94,7 @@ __all__ = [
     "MARSystem",
     "Matern",
     "Measurement",
+    "MetricsRegistry",
     "ModelZoo",
     "Ms",
     "NetworkLink",
@@ -106,6 +110,7 @@ __all__ = [
     "StaticMatchLatencyBaseline",
     "StaticMatchQualityBaseline",
     "TaskSet",
+    "Tracer",
     "VirtualObject",
     "__version__",
     "build_system",
@@ -113,6 +118,7 @@ __all__ = [
     "catalog_sc2",
     "fig8_event_script",
     "galaxy_s22_soc",
+    "instrumented",
     "ms_to_s",
     "pixel7_soc",
     "run_fleet",

@@ -25,6 +25,7 @@ from repro.bo.gp import GaussianProcess
 from repro.bo.kernels import Kernel, Matern
 from repro.bo.space import BoxSpace, HBOSpace
 from repro.errors import ConfigurationError, GPFitError
+from repro.obs import runtime as obs
 from repro.rng import SeedLike, make_rng
 
 SpaceLike = Union[HBOSpace, BoxSpace]
@@ -165,12 +166,13 @@ class BayesianOptimizer:
             raise ConfigurationError(
                 "warm_start() must be called before the first ask()/tell()"
             )
-        for obs in observations:
-            z = np.asarray(obs.z, dtype=float).ravel()
+        for donor in observations:
+            z = np.asarray(donor.z, dtype=float).ravel()
             if not self.space.contains(z, tol=1e-6):
                 z = self.space.project(z)
-            self.state.observations.append(Observation(z=z, cost=float(obs.cost)))
+            self.state.observations.append(Observation(z=z, cost=float(donor.cost)))
         self.n_warm = len(self.state.observations)
+        obs.counter("bo_warm_observations").inc(self.n_warm)
         return self.n_warm
 
     def ask(self) -> np.ndarray:
@@ -181,9 +183,12 @@ class BayesianOptimizer:
                 "report the cost of the previous proposal first"
             )
         if self.in_initial_phase:
+            obs.counter("bo_asks", phase="initial").inc()
             z = self.space.sample(self._rng, size=1)[0]
         else:
-            z = self._maximize_acquisition()
+            obs.counter("bo_asks", phase="guided").inc()
+            with obs.span("bo.propose", category="bo", n_obs=self.n_observations):
+                z = self._maximize_acquisition()
         self._pending = z
         self.state.proposals.append(z.copy())
         return z.copy()
@@ -222,7 +227,10 @@ class BayesianOptimizer:
         x = np.asarray([o.z for o in self.state.observations])
         y = np.asarray([o.cost for o in self.state.observations])
         gp = GaussianProcess(kernel=self.kernel, noise=self.noise)
-        return gp.fit(x, y)
+        with obs.span("bo.gp_fit", category="bo", n_obs=len(y)):
+            fitted = gp.fit(x, y)
+        obs.counter("bo_gp_fits").inc()
+        return fitted
 
     def _candidate_pool(self) -> np.ndarray:
         pools = [self.space.sample(self._rng, size=self.n_candidates)]

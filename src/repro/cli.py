@@ -12,6 +12,9 @@ Commands
     Run a multi-session fleet against the shared edge optimizer and
     print the cold-vs-warm convergence report; optionally export the
     fleet trace and the warm-start store as JSON.
+``trace``
+    Run a scenario (or a fleet, with ``--fleet N``) with observability
+    enabled and emit a Perfetto-loadable trace plus a metrics snapshot.
 ``list``
     Show the available scenarios, tasksets, devices and experiments.
 ``profiles``
@@ -107,6 +110,27 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--store", metavar="PATH", default=None,
                        help="write the warm-start store as JSON")
 
+    trace = sub.add_parser(
+        "trace", help="run with tracing on; emit trace + metrics snapshot"
+    )
+    trace.add_argument("--scenario", choices=("SC1", "SC2"), default="SC1")
+    trace.add_argument("--taskset", choices=("CF1", "CF2"), default="CF1")
+    trace.add_argument("--device", choices=(PIXEL7, GALAXY_S22), default=PIXEL7)
+    trace.add_argument("--fleet", type=int, metavar="N", default=0,
+                       help="trace an N-session fleet instead of one scenario")
+    trace.add_argument("--seed", type=int, default=2024)
+    trace.add_argument("--iterations", type=int, default=15)
+    trace.add_argument("--initial", type=int, default=5)
+    trace.add_argument("--duration", dest="duration_s", type=float, default=60.0,
+                       help="monitored session length in simulated seconds")
+    trace.add_argument("--wall", action="store_true",
+                       help="also capture wall-clock span durations "
+                            "(non-reproducible; excluded by default)")
+    trace.add_argument("--out", metavar="PATH", default="trace.json",
+                       help="trace output (Chrome trace-event JSON)")
+    trace.add_argument("--metrics", metavar="PATH", default=None,
+                       help="also write the metrics snapshot as JSON")
+
     sub.add_parser("list", help="show scenarios, devices and experiments")
 
     prof = sub.add_parser("profiles", help="print Table I for a device")
@@ -173,6 +197,76 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        MetricsRegistry,
+        Tracer,
+        instrumented,
+        load_trace_json,
+        validate_events,
+        write_metrics_json,
+        write_trace_json,
+    )
+
+    config = HBOConfig(n_initial=args.initial, n_iterations=args.iterations)
+    tracer = Tracer(capture_wall=args.wall)
+    metrics = MetricsRegistry()
+
+    if args.fleet > 0:
+        from repro.fleet.scheduler import FleetConfig, FleetScheduler
+
+        specs = fleet_exp.default_fleet_specs(args.fleet, config, seed=args.seed)
+        scheduler = FleetScheduler(
+            specs,
+            seed=derive_seed(args.seed, "fleet"),
+            config=FleetConfig(hbo=config),
+        )
+        tracer.clock = scheduler.clock
+        with instrumented(tracer, metrics):
+            result = scheduler.run()
+        print(f"fleet: {args.fleet} sessions drained in {result.ticks} ticks")
+    else:
+        from repro.core.activation import EventBasedPolicy
+        from repro.sim.engine import MonitoringEngine
+
+        system = build_system(
+            args.scenario,
+            args.taskset,
+            device=args.device,
+            seed=derive_seed(args.seed, args.scenario, args.taskset),
+        )
+        controller = HBOController(system, config, seed=args.seed)
+        engine = MonitoringEngine(controller, EventBasedPolicy())
+        tracer.clock = engine.clock
+        with instrumented(tracer, metrics):
+            report = engine.run([], duration_s=args.duration_s)
+        print(
+            f"{args.scenario}-{args.taskset} on {args.device}: "
+            f"{report.n_activations} activation(s), "
+            f"final B={report.final_reward:+.3f}"
+        )
+
+    # The trace-smoke contract: the emitted file must be non-empty,
+    # schema-valid, and reload as trace events.
+    events = write_trace_json(tracer, args.out, include_wall=args.wall)
+    reloaded = load_trace_json(args.out)
+    validate_events(reloaded)
+    if not reloaded or reloaded != events:
+        print("error: exported trace is empty or does not round-trip",
+              file=sys.stderr)
+        return 1
+    snapshot = metrics.snapshot()
+    print(f"trace: {len(events)} spans -> {args.out} "
+          f"(load at https://ui.perfetto.dev or chrome://tracing)")
+    print(f"metrics: {len(snapshot['counters'])} counters, "
+          f"{len(snapshot['gauges'])} gauges, "
+          f"{len(snapshot['histograms'])} histograms")
+    if args.metrics:
+        write_metrics_json(metrics, args.metrics)
+        print(f"metrics snapshot -> {args.metrics}")
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("scenarios : SC1 (heavy objects), SC2 (light objects)")
     print("tasksets  : CF1 (6 AI tasks), CF2 (3 AI tasks)")
@@ -206,6 +300,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "tune": _cmd_tune,
         "fleet": _cmd_fleet,
+        "trace": _cmd_trace,
         "list": _cmd_list,
         "profiles": _cmd_profiles,
     }

@@ -25,6 +25,7 @@ from repro.bo.space import HBOSpace
 from repro.core.algorithm import HBOIteration, IterationResult
 from repro.core.system import MARSystem, Measurement
 from repro.errors import ConfigurationError
+from repro.obs import runtime as obs
 from repro.rng import SeedLike, make_rng
 
 
@@ -241,10 +242,17 @@ class HBOController:
             w_power=cfg.w_power,
         )
         result = HBORunResult()
-        if cfg.seed_incumbent and len(self.system.scene) > 0:
-            result.iterations.append(self._evaluate_incumbent(optimizer))
-        for _ in range(cfg.total_evaluations):
-            result.iterations.append(step.run_once())
+        with obs.span(
+            "hbo.activation",
+            category="core",
+            n_evaluations=cfg.total_evaluations,
+            offloaded=self._offload_link is not None,
+        ):
+            if cfg.seed_incumbent and len(self.system.scene) > 0:
+                result.iterations.append(self._evaluate_incumbent(optimizer))
+            for _ in range(cfg.total_evaluations):
+                result.iterations.append(step.run_once())
+        obs.counter("hbo_activations").inc()
 
         # Re-apply the lowest-cost configuration found (post-loop, §IV-D).
         best = result.best

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.bo.optimizer import BayesianOptimizer, Observation, OptimizerState, SpaceLike
 from repro.errors import ConfigurationError
+from repro.obs import runtime as obs
 from repro.rng import SeedLike, make_rng
 
 
@@ -117,6 +118,11 @@ class RemoteOptimizerProxy:
     def _vector_bytes(self) -> int:
         return 4 * self.space.dim + self._FRAME_BYTES
 
+    def _record_exchange(self, kind: str, payload_bytes: int, transfer_ms: float) -> None:
+        obs.counter("remote_exchanges", kind=kind).inc()
+        obs.histogram("remote_payload_bytes").observe(payload_bytes)
+        obs.histogram("remote_network_ms").observe(transfer_ms)
+
     def ask(self) -> np.ndarray:
         """Download the next configuration from the server."""
         z = self._optimizer.ask()
@@ -124,7 +130,9 @@ class RemoteOptimizerProxy:
         self.stats.exchanges += 1
         self.stats.bytes_down += payload
         self.stats.bytes_up += self._FRAME_BYTES  # the request frame
-        self.stats.network_ms += self.link.transfer_ms(payload, self._rng)
+        transfer = self.link.transfer_ms(payload, self._rng)
+        self.stats.network_ms += transfer
+        self._record_exchange("ask", payload, transfer)
         return z
 
     def tell(self, z: np.ndarray, cost: float) -> None:
@@ -133,7 +141,9 @@ class RemoteOptimizerProxy:
         self.stats.exchanges += 1
         self.stats.bytes_up += payload
         self.stats.bytes_down += self._FRAME_BYTES  # the ack
-        self.stats.network_ms += self.link.transfer_ms(payload, self._rng)
+        transfer = self.link.transfer_ms(payload, self._rng)
+        self.stats.network_ms += transfer
+        self._record_exchange("tell", payload, transfer)
         self._optimizer.tell(z, cost)
 
     def _batched_payload_bytes(self, n_observations: int) -> int:
@@ -149,7 +159,9 @@ class RemoteOptimizerProxy:
         self.stats.batched_observations += n_observations
         self.stats.bytes_up += payload
         self.stats.bytes_down += self._FRAME_BYTES  # the ack
-        self.stats.network_ms += self.link.transfer_ms(payload, self._rng)
+        transfer = self.link.transfer_ms(payload, self._rng)
+        self.stats.network_ms += transfer
+        self._record_exchange("batch", payload, transfer)
 
     def tell_many(self, observations: Sequence[Tuple[np.ndarray, float]]) -> None:
         """Upload a batch of measured costs in a single exchange.

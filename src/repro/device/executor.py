@@ -24,6 +24,7 @@ from repro.device.resources import Processor, Resource
 from repro.device.soc import SoCSpec
 from repro.device.thermal import ThermalModel
 from repro.errors import DeviceError, IncompatibleDelegateError
+from repro.obs import runtime as obs
 from repro.rng import SeedLike, make_rng
 
 
@@ -225,11 +226,22 @@ class DeviceSimulator:
         """Average measured latency per task over a control period."""
         if n_samples < 1:
             raise DeviceError(f"n_samples must be >= 1, got {n_samples}")
-        sums = {tid: 0.0 for tid in self._tasks}
-        for _ in range(n_samples):
-            for sample in self.sample_latencies():
-                sums[sample.task_id] += sample.latency_ms
-        return {tid: total / n_samples for tid, total in sums.items()}
+        with obs.span(
+            "device.measure_period",
+            category="device",
+            n_tasks=len(self._tasks),
+            n_samples=n_samples,
+        ):
+            sums = {tid: 0.0 for tid in self._tasks}
+            for _ in range(n_samples):
+                for sample in self.sample_latencies():
+                    sums[sample.task_id] += sample.latency_ms
+            means = {tid: total / n_samples for tid, total in sums.items()}
+        obs.counter("device_measurements").inc()
+        latency_hist = obs.histogram("device_task_latency_ms")
+        for mean_ms in means.values():
+            latency_hist.observe(mean_ms)
+        return means
 
     def isolation_latency(self, task_id: str, resource: Resource) -> float:
         """Table I lookup for a registered task."""

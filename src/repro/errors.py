@@ -70,3 +70,9 @@ class FleetError(ReproError):
     """The fleet scheduler or shared optimizer service reached an
     inconsistent state (duplicate session ids, mismatched search spaces,
     a run that never drains)."""
+
+
+class ObservabilityError(ReproError):
+    """A tracing or metrics request was invalid (malformed metric name,
+    mismatched histogram buckets, unbalanced span close, a trace file
+    that does not parse as Chrome trace events)."""

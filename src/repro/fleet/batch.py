@@ -32,6 +32,7 @@ from scipy.stats import norm
 from repro.bo.kernels import RBF, Kernel, Matern
 from repro.bo.optimizer import BayesianOptimizer
 from repro.errors import FleetError, GPFitError
+from repro.obs import runtime as obs
 
 _JITTERS = (1e-10, 1e-8, 1e-6, 1e-4, 1e-2)
 
@@ -290,13 +291,21 @@ class SharedOptimizerService:
             for opt in optimizers
         ]
         best_y = np.asarray([opt.best().cost for opt in optimizers])
-        try:
-            mean, std = self.gp.posterior(train_x, train_y, candidates)
-            scores = batched_expected_improvement(mean, std, best_y, xi=self.xi)
-        except GPFitError:
-            scores = None
+        with obs.span(
+            "fleet.batched_gp", category="fleet", n_sessions=len(optimizers)
+        ) as span:
+            try:
+                mean, std = self.gp.posterior(train_x, train_y, candidates)
+                scores = batched_expected_improvement(mean, std, best_y, xi=self.xi)
+            except GPFitError:
+                scores = None
+                span.set(degenerate_fit=True)
         self.batches += 1
         self.proposals_served += len(optimizers)
+        obs.counter("fleet_gp_batches").inc()
+        obs.histogram("fleet_gp_batch_size", edges=(1, 2, 4, 8, 16, 32, 64)).observe(
+            len(optimizers)
+        )
 
         proposals: List[np.ndarray] = []
         for b, (opt, rng) in enumerate(zip(optimizers, rngs)):

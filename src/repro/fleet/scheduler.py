@@ -34,6 +34,7 @@ from repro.fleet.telemetry import (
     fleet_aggregates,
     iterations_to_converge,
 )
+from repro.obs import runtime as obs
 from repro.rng import SeedLike, spawn_rngs
 from repro.sim.clock import SimClock
 
@@ -114,22 +115,28 @@ class FleetScheduler:
 
     def step(self, tick: int) -> None:
         """One fleet tick: admit, propose (batched), evaluate, retire."""
-        self._admit_arrivals(tick)
-        active = [s for s in self.sessions if s.active]
-        guided = [s for s in active if s.needs_guided_proposal]
-        initial = [s for s in active if not s.needs_guided_proposal]
-        if guided:
-            proposals = self.service.propose(
-                [s.optimizer for s in guided], [s.rng for s in guided]
-            )
-            for session, z in zip(guided, proposals):
-                session.step_guided(z)
-        for session in initial:
-            session.step_initial()
-        for session in active:
-            if session.budget_exhausted:
-                session.finish(tick, store=self.store)
-        self.clock.advance(self.config.tick_s)
+        with obs.span("fleet.tick", category="fleet", tick=tick) as span:
+            self._admit_arrivals(tick)
+            active = [s for s in self.sessions if s.active]
+            guided = [s for s in active if s.needs_guided_proposal]
+            initial = [s for s in active if not s.needs_guided_proposal]
+            if guided:
+                proposals = self.service.propose(
+                    [s.optimizer for s in guided], [s.rng for s in guided]
+                )
+                for session, z in zip(guided, proposals):
+                    session.step_guided(z)
+            for session in initial:
+                session.step_initial()
+            for session in active:
+                if session.budget_exhausted:
+                    session.finish(tick, store=self.store)
+            span.set(n_active=len(active), n_guided=len(guided))
+            # Advance inside the span so a tick renders with its real
+            # sim-time width (tick_s) instead of as a zero-width slice.
+            self.clock.advance(self.config.tick_s)
+        obs.counter("fleet_ticks").inc()
+        obs.gauge("fleet_active_sessions").set(len(active))
 
     def run(self) -> FleetResult:
         """Drive the fleet until every session has drained."""

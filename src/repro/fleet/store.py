@@ -35,6 +35,7 @@ from repro.core.lookup import (
 )
 from repro.device.resources import Resource, resource_from_name
 from repro.errors import ConfigurationError
+from repro.obs import runtime as obs
 
 
 @dataclass(frozen=True)
@@ -174,6 +175,7 @@ class SharedConfigStore:
         )
         self.table_for(scope).store(entry)
         self.donations += 1
+        obs.counter("store_donations", scope=scope or "default").inc()
         return entry
 
     def warm_start_for(
@@ -184,9 +186,13 @@ class SharedConfigStore:
         A hit that carries observations counts as a *transfer* (the
         fleet-wide statistic the warm-vs-cold experiment reports).
         """
+        label = scope or "default"
+        obs.counter("store_lookups", scope=label).inc()
         entry = self.table_for(scope).lookup(signature)
         if entry is None:
+            obs.counter("store_misses", scope=label).inc()
             return None
+        obs.counter("store_hits", scope=label).inc()
         if not isinstance(entry, WarmStartEntry):
             # A plain StoredConfiguration (e.g. loaded from a legacy
             # single-device table) has no observations to transfer.
@@ -198,6 +204,7 @@ class SharedConfigStore:
             )
         if entry.observations:
             self.transfers += 1
+            obs.counter("store_transfers", scope=label).inc()
         return entry
 
     # ------------------------------------------------------------- metrics

@@ -1,0 +1,168 @@
+"""Trace export in Chrome trace-event format (Perfetto-compatible).
+
+The on-disk layout is line-oriented strict JSON: the file is a JSON
+array with one event object per line, so it is simultaneously
+
+* valid input for ``chrome://tracing`` and https://ui.perfetto.dev
+  (which accept a bare array of trace events), and
+* greppable/streamable one event per line (the "JSONL" requirement).
+
+Timestamps: Chrome traces use integer microseconds. Spans are stamped in
+*simulated* seconds and the sim clock only advances between control
+periods, so many spans tie on ``ts``. To keep parent/child nesting
+unambiguous for viewers, the exported tick is
+``round(start_s * 1e6) + seq_open`` (and analogously for the end) — the
+per-tracer sequence counter breaks every tie while preserving tree
+containment, and it is deterministic, so exported traces stay
+bit-identical across same-seed runs. The exact simulated bounds ride
+along in each event's ``args`` (``sim_start_s``/``sim_end_s``).
+
+Wall-clock durations (captured only when the tracer opted in) appear as
+``args.wall_ms`` and are dropped entirely with ``include_wall=False`` —
+reproducibility comparisons must use that mode.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence, Union
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import MetricsRegistry, NullMetrics
+from repro.obs.tracing import NullTracer, Tracer
+
+_US_PER_S = 1_000_000
+
+#: Keys required of every exported trace event (Chrome trace-event "X").
+REQUIRED_EVENT_KEYS = ("name", "ph", "ts", "dur", "pid", "tid")
+
+
+def _event_tick(t_s: float, seq: int) -> int:
+    return round(t_s * _US_PER_S) + seq
+
+
+def trace_events(
+    tracer: Union[Tracer, NullTracer], include_wall: bool = True
+) -> List[Dict[str, Any]]:
+    """Closed spans as Chrome complete ("X") events, in open order."""
+    events: List[Dict[str, Any]] = []
+    spans = sorted(tracer.spans, key=lambda s: s.seq_open)
+    for record in spans:
+        ts = _event_tick(record.start_s, record.seq_open)
+        end = _event_tick(record.end_s, record.seq_close)
+        args: Dict[str, Any] = {
+            "sim_start_s": record.start_s,
+            "sim_end_s": record.end_s,
+            "span_id": record.span_id,
+            "parent_id": record.parent_id,
+            "depth": record.depth,
+        }
+        args.update(dict(record.args))
+        if include_wall and record.wall_ms is not None:
+            args["wall_ms"] = record.wall_ms
+        events.append(
+            {
+                "name": record.name,
+                "cat": record.category or "repro",
+                "ph": "X",
+                "ts": ts,
+                "dur": max(end - ts, 0),
+                "pid": 0,
+                "tid": 0,
+                "args": args,
+            }
+        )
+    return events
+
+
+def write_trace_json(
+    tracer: Union[Tracer, NullTracer],
+    path: str,
+    include_wall: bool = True,
+) -> List[Dict[str, Any]]:
+    """Write the trace to ``path`` (JSON array, one event per line).
+
+    Returns the exported event list.
+    """
+    events = trace_events(tracer, include_wall=include_wall)
+    lines = ["["]
+    for i, event in enumerate(events):
+        comma = "," if i < len(events) - 1 else ""
+        lines.append(json.dumps(event, sort_keys=True) + comma)
+    lines.append("]")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+    return events
+
+
+def load_trace_json(path: str) -> List[Dict[str, Any]]:
+    """Load a trace file written by :func:`write_trace_json`.
+
+    Tolerates the three common trace-event layouts: a bare JSON array,
+    an object with a ``traceEvents`` key, and one-object-per-line JSONL.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError:
+        events: List[Dict[str, Any]] = []
+        for line_no, line in enumerate(text.splitlines(), start=1):
+            line = line.strip().rstrip(",")
+            if not line or line in "[]":
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ObservabilityError(
+                    f"{path}:{line_no} is neither a trace-event object nor "
+                    f"part of a JSON array: {exc}"
+                ) from exc
+        return events
+    if isinstance(data, dict):
+        data = data.get("traceEvents")
+    if not isinstance(data, list):
+        raise ObservabilityError(
+            f"{path} does not contain a trace-event array (expected a JSON "
+            "array or an object with a 'traceEvents' key)"
+        )
+    return data
+
+
+def validate_events(events: Sequence[Dict[str, Any]]) -> None:
+    """Raise :class:`ObservabilityError` unless every event is a
+    well-formed Chrome complete event."""
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ObservabilityError(f"event {i} is not an object: {event!r}")
+        missing = [k for k in REQUIRED_EVENT_KEYS if k not in event]
+        if missing:
+            raise ObservabilityError(
+                f"event {i} ({event.get('name', '?')!r}) is missing required "
+                f"trace-event keys {missing}"
+            )
+        if event["ph"] != "X":
+            raise ObservabilityError(
+                f"event {i} has phase {event['ph']!r}; this exporter only "
+                "emits complete ('X') events"
+            )
+        if not isinstance(event["ts"], int) or not isinstance(
+            event["dur"], int
+        ):
+            raise ObservabilityError(
+                f"event {i} ts/dur must be integer microseconds, got "
+                f"ts={event['ts']!r} dur={event['dur']!r}"
+            )
+        if event["dur"] < 0:
+            raise ObservabilityError(f"event {i} has negative dur")
+
+
+def write_metrics_json(
+    metrics: Union[MetricsRegistry, NullMetrics], path: str
+) -> Dict[str, Any]:
+    """Write a metrics snapshot to ``path`` as pretty JSON; returns it."""
+    snapshot = metrics.snapshot()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return snapshot

@@ -1,0 +1,144 @@
+"""Ambient instrumentation: the process-wide tracer/metrics pair.
+
+Hot paths must not take a tracer parameter through every constructor, so
+instrumentation goes through a module-level :class:`Instrumentation`
+holder. By default it holds the null tracer and null registry — every
+probe is a no-op costing a couple of attribute lookups. A harness (the
+``repro trace`` CLI, a test) enables collection either explicitly::
+
+    tracer = Tracer(clock=engine.clock)
+    metrics = MetricsRegistry()
+    install(tracer, metrics)
+    try:
+        engine.run(...)
+    finally:
+        uninstall()
+
+or with the :func:`instrumented` context manager, which restores whatever
+was active before (so nesting and test isolation both work).
+
+Instrumented modules import this module as ``obs`` and write::
+
+    from repro.obs import runtime as obs
+    ...
+    with obs.span("bo.gp_fit", n_obs=len(self.observations)):
+        self._fit_surrogate()
+    obs.counter("bo_gp_fits").inc()
+
+Importing :mod:`repro.obs.runtime` is safe from anywhere in the library:
+it only pulls in :mod:`repro.obs.tracing`/:mod:`repro.obs.metrics`, which
+never import simulation code at module level (no import cycles).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional, Sequence, Union
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    _NullCounter,
+    _NullGauge,
+    _NullHistogram,
+    NULL_METRICS,
+)
+from repro.obs.tracing import NullSpan, NullTracer, Span, Tracer, NULL_TRACER
+
+
+class Instrumentation:
+    """The (tracer, metrics) pair that probes route through."""
+
+    __slots__ = ("tracer", "metrics")
+
+    def __init__(
+        self,
+        tracer: Union[Tracer, NullTracer] = NULL_TRACER,
+        metrics: Union[MetricsRegistry, NullMetrics] = NULL_METRICS,
+    ) -> None:
+        self.tracer = tracer
+        self.metrics = metrics
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled or self.metrics.enabled
+
+
+_DISABLED = Instrumentation()
+_current: Instrumentation = _DISABLED
+
+
+def active() -> Instrumentation:
+    """The currently installed instrumentation (disabled by default)."""
+    return _current
+
+
+def install(
+    tracer: Optional[Union[Tracer, NullTracer]] = None,
+    metrics: Optional[Union[MetricsRegistry, NullMetrics]] = None,
+) -> Instrumentation:
+    """Install a tracer and/or metrics registry process-wide.
+
+    ``None`` means "the null implementation", not "keep the current one" —
+    install is a full replacement. Returns the new active holder.
+    """
+    global _current
+    _current = Instrumentation(
+        tracer=tracer if tracer is not None else NULL_TRACER,
+        metrics=metrics if metrics is not None else NULL_METRICS,
+    )
+    return _current
+
+
+def uninstall() -> None:
+    """Return to the disabled (no-op) instrumentation."""
+    global _current
+    _current = _DISABLED
+
+
+@contextmanager
+def instrumented(
+    tracer: Optional[Union[Tracer, NullTracer]] = None,
+    metrics: Optional[Union[MetricsRegistry, NullMetrics]] = None,
+) -> Iterator[Instrumentation]:
+    """Scoped :func:`install` that restores the previous instrumentation."""
+    global _current
+    previous = _current
+    holder = install(tracer, metrics)
+    try:
+        yield holder
+    finally:
+        _current = previous
+
+
+# --------------------------------------------------------------- probe API
+# These four helpers are what instrumented modules call. When disabled
+# they return shared singletons without allocating.
+
+
+def span(name: str, category: str = "", **args: Any) -> Union[Span, NullSpan]:
+    """Open a span on the ambient tracer (no-op when disabled)."""
+    return _current.tracer.span(name, category, **args)
+
+
+def counter(name: str, **labels: str) -> Union[Counter, _NullCounter]:
+    """The ambient counter series for ``name`` + labels."""
+    return _current.metrics.counter(name, **labels)
+
+
+def gauge(name: str, **labels: str) -> Union[Gauge, _NullGauge]:
+    """The ambient gauge series for ``name`` + labels."""
+    return _current.metrics.gauge(name, **labels)
+
+
+def histogram(
+    name: str,
+    edges: Sequence[float] = DEFAULT_BUCKETS,
+    **labels: str,
+) -> Union[Histogram, _NullHistogram]:
+    """The ambient histogram series for ``name`` + labels."""
+    return _current.metrics.histogram(name, edges, **labels)

@@ -16,6 +16,7 @@ from typing import Optional, Sequence, Union
 from repro.core.activation import EventBasedPolicy, PeriodicPolicy
 from repro.core.controller import HBOController
 from repro.errors import ConfigurationError
+from repro.obs import runtime as obs
 from repro.sim.clock import SimClock
 from repro.sim.events import SceneEvent, validate_script
 from repro.sim.trace import ActivationRecord, RewardSample, SessionTrace
@@ -86,7 +87,10 @@ class MonitoringEngine:
             if fired_descriptions:
                 system.refresh_load()
 
-            reward = system.measure_reward(w, samples=self.monitor_samples)
+            with obs.span("sim.monitor", category="sim", n_objects=len(system.scene)):
+                reward = system.measure_reward(w, samples=self.monitor_samples)
+            obs.counter("engine_monitor_steps").inc()
+            obs.gauge("engine_reward").set(reward)
             event_note = "; ".join(fired_descriptions) if fired_descriptions else None
 
             activate = False
@@ -132,18 +136,21 @@ class MonitoringEngine:
         self, trace: SessionTrace, trigger: str, reward_before: float
     ) -> None:
         start = self.clock.now_s
-        result = self.controller.activate()
-        # Each Algorithm 1 iteration spans one control period of sim time.
-        for iteration in result.iterations:
-            self.clock.advance(self.control_period_s)
-            trace.add_sample(
-                RewardSample(
-                    time_s=self.clock.now_s,
-                    reward=-iteration.cost,
-                    n_objects=len(self.controller.system.scene),
-                    during_activation=True,
+        with obs.span("sim.activation", category="sim", trigger=trigger) as span:
+            result = self.controller.activate()
+            # Each Algorithm 1 iteration spans one control period of sim time.
+            for iteration in result.iterations:
+                self.clock.advance(self.control_period_s)
+                trace.add_sample(
+                    RewardSample(
+                        time_s=self.clock.now_s,
+                        reward=-iteration.cost,
+                        n_objects=len(self.controller.system.scene),
+                        during_activation=True,
+                    )
                 )
-            )
+            span.set(n_iterations=len(result.iterations), best_cost=result.best.cost)
+        obs.counter("engine_activations").inc()
         reward_after = (
             result.final_measurement.reward(self.controller.config.w)
             if result.final_measurement is not None

@@ -10,11 +10,12 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Dict, Union
+from typing import TYPE_CHECKING, Any, Dict, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
     from repro.fleet.scheduler import FleetResult
     from repro.fleet.telemetry import FleetSessionReport
+    from repro.obs.metrics import MetricsRegistry
 
 from repro.core.controller import HBORunResult
 from repro.core.system import Measurement
@@ -146,12 +147,19 @@ def fleet_report_to_dict(report: "FleetSessionReport") -> Dict[str, Any]:
     }
 
 
-def fleet_result_to_dict(result: "FleetResult") -> Dict[str, Any]:
+def fleet_result_to_dict(
+    result: "FleetResult", metrics: "Optional[MetricsRegistry]" = None
+) -> Dict[str, Any]:
     """Serialize a whole fleet run (sessions, aggregates, store/service
     counters). The determinism tests compare two runs through this
-    function, so every value here must be reproducible from the seed."""
+    function, so every value here must be reproducible from the seed.
+
+    Pass the run's :class:`~repro.obs.metrics.MetricsRegistry` to embed
+    its snapshot under a ``"metrics"`` key (snapshots contain sim-derived
+    values only, so they are as reproducible as the rest of the export).
+    """
     aggregates = result.aggregates
-    return {
+    exported: Dict[str, Any] = {
         "tick_s": result.tick_s,
         "ticks": result.ticks,
         "sessions": [fleet_report_to_dict(r) for r in result.reports],
@@ -170,6 +178,9 @@ def fleet_result_to_dict(result: "FleetResult") -> Dict[str, Any]:
         "store": result.store_stats,
         "service": result.service_stats,
     }
+    if metrics is not None:
+        exported["metrics"] = metrics.snapshot()
+    return exported
 
 
 def allocation_from_dict(data: Dict[str, str]) -> Dict[str, Resource]:
