@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: reprolint ruff mypy lint test fleet-smoke trace-smoke check
+.PHONY: reprolint ruff mypy lint test fleet-smoke trace-smoke bench bench-smoke check
 
 reprolint:
 	PYTHONPATH=tools $(PYTHON) -m reprolint src benchmarks examples
@@ -41,4 +41,17 @@ trace-smoke:
 		--out /tmp/repro-trace-smoke.trace.json \
 		--metrics /tmp/repro-trace-smoke.metrics.json
 
-check: lint test fleet-smoke trace-smoke
+# Time the hot kernels and distill the scalar-vs-batched backend numbers
+# into the committed BENCH_pr4.json (see docs/performance.md).
+bench:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_microbench.py -q \
+		--benchmark-only --benchmark-json=/tmp/repro-bench-pr4.json
+	$(PYTHON) tools/bench_pr4.py /tmp/repro-bench-pr4.json BENCH_pr4.json
+
+# Run every microbench body once, untimed: catches API drift in the bench
+# suite without paying for calibration rounds.
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_microbench.py -q \
+		--benchmark-disable
+
+check: lint test fleet-smoke trace-smoke bench-smoke

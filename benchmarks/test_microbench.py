@@ -6,6 +6,8 @@ evaluation, one GP fit+acquisition maximization, one TD distribution, one
 mesh decimation.
 """
 
+import itertools
+
 import numpy as np
 import pytest
 
@@ -16,9 +18,15 @@ from repro.bo.acquisition import ExpectedImprovement
 from repro.bo.gp import GaussianProcess
 from repro.bo.space import HBOSpace
 from repro.core.allocation import allocate_tasks, proportions_to_counts
+from repro.core.controller import HBOConfig
+from repro.core.frontier import FrontierEvaluator
+from repro.device.resources import ALL_RESOURCES
+from repro.fleet import FleetConfig, SessionSpec, run_fleet
 from repro.models.tasks import taskset_cf1
 from repro.rng import make_rng
 from repro.sim.scenarios import build_system
+
+from conftest import BENCH_SEED
 
 
 @pytest.fixture(scope="module")
@@ -83,3 +91,67 @@ def test_mesh_decimation(benchmark):
     mesh = make_procedural("bench-asset", 4_000)
     decimated = benchmark(decimate, mesh, 0.4)
     assert 0 < decimated.n_triangles < mesh.n_triangles
+
+
+# --------------------------------------------------------- backend (PR 4)
+# The scalar-vs-batched pair below is the backend's headline number:
+# scoring the same configuration grid one row at a time versus as one
+# EvalPlan. `make bench` distills both (plus the fleet tick rate) into
+# BENCH_pr4.json via tools/bench_pr4.py, keyed on these test names.
+
+
+def _frontier_grid(system):
+    """A 224-configuration slice of the Alg. 1 decision lattice."""
+    n_tasks = len(system.taskset)
+    count_vectors = [
+        ks
+        for ks in itertools.product(range(n_tasks + 1), repeat=len(ALL_RESOURCES))
+        if sum(ks) == n_tasks
+    ]
+    ratios = np.linspace(0.1, 1.0, 8)
+    return np.array(
+        [
+            [k / n_tasks for k in ks] + [float(x)]
+            for ks in count_vectors
+            for x in ratios
+        ]
+    )
+
+
+def test_frontier_grid_scalar(benchmark, system):
+    """The grid scored one configuration per solve (the pre-batching shape)."""
+    evaluator = FrontierEvaluator(system, w=2.5)
+    zs = _frontier_grid(system)
+    benchmark.extra_info["n_configs"] = int(zs.shape[0])
+
+    def loop():
+        return [float(evaluator.evaluate(row).phi[0]) for row in zs]
+
+    phis = benchmark.pedantic(loop, rounds=3, iterations=1)
+    assert len(phis) == zs.shape[0]
+
+
+def test_frontier_grid_batched(benchmark, system):
+    """The same grid as one EvalPlan through one batched solve."""
+    evaluator = FrontierEvaluator(system, w=2.5)
+    zs = _frontier_grid(system)
+    benchmark.extra_info["n_configs"] = int(zs.shape[0])
+    result = benchmark.pedantic(evaluator.evaluate, args=(zs,), rounds=10, iterations=1)
+    assert result.phi.shape == (zs.shape[0],)
+
+
+def test_fleet_tick_throughput(benchmark):
+    """A 4-session fleet drained end to end; ticks/s comes from the
+    recorded tick count divided by the median round time."""
+    specs = [
+        SessionSpec(session_id=f"s{i}", arrival_s=0.5 * i, noise_sigma=0.02)
+        for i in range(4)
+    ]
+    config = FleetConfig(hbo=HBOConfig(n_initial=2, n_iterations=3))
+
+    def drain():
+        return run_fleet(specs, seed=BENCH_SEED, config=config)
+
+    result = benchmark.pedantic(drain, rounds=1, iterations=1)
+    benchmark.extra_info["ticks"] = int(result.ticks)
+    assert result.ticks > 0

@@ -1,0 +1,49 @@
+"""The vectorized evaluation backend.
+
+Every layer that scores a candidate configuration — the controller's
+Algorithm 1 loop, the baselines' enumeration scans, the fleet tick, the
+experiment sweeps — used to funnel through the scalar contention/cost
+path one configuration at a time. This package batches that evaluation:
+an :class:`EvalPlan` encodes N configurations as structure-of-arrays
+(per-task resource choices, per-object triangle ratios, per-row SoC
+parameters) and :func:`solve` computes contention slowdowns, per-task
+latencies, Eq. 4 ε, Eq. 2 quality and the Eq. 5 cost φ for the whole
+batch in NumPy, with no per-configuration Python loop.
+
+Two numerical modes:
+
+- ``solve(plan, exact=True)`` reproduces the scalar reference path
+  (:mod:`repro.device.contention`) **bit-for-bit** — the measurement
+  pipeline uses it so fixed-seed runs stay byte-identical.
+- ``solve(plan)`` (fast mode) uses NumPy's SIMD ``**`` and matches the
+  scalar path to ≲1e-12 — enumeration grids and acquisition frontiers
+  use it.
+
+See ``docs/performance.md`` for the design and parity guarantees.
+"""
+
+from repro.backend.plan import (
+    KIND_CPU,
+    KIND_GPU,
+    KIND_NNAPI,
+    KIND_PAD,
+    PROC_CPU,
+    PROC_GPU,
+    PROC_NPU,
+    EvalPlan,
+)
+from repro.backend.solve import SolveResult, exact_pow, solve
+
+__all__ = [
+    "EvalPlan",
+    "SolveResult",
+    "solve",
+    "exact_pow",
+    "KIND_CPU",
+    "KIND_GPU",
+    "KIND_NNAPI",
+    "KIND_PAD",
+    "PROC_CPU",
+    "PROC_GPU",
+    "PROC_NPU",
+]

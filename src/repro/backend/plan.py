@@ -1,0 +1,308 @@
+"""The :class:`EvalPlan`: N candidate configurations as structure-of-arrays.
+
+A plan row is one complete configuration of the MAR system: which
+resource each AI task runs on (with the task's demand profile), what
+render load the scene puts on the SoC, and — optionally — the per-object
+triangle ratios and degradation parameters needed to score quality, the
+per-task expected latencies needed for Eq. 4's ε, and the Eq. 3 weight
+needed for φ. Rows are independent: the solver never mixes information
+across rows, which is what makes single-row and batched evaluation
+bit-identical.
+
+Task slots are padded to the widest row; padding slots carry
+``KIND_PAD`` and contribute nothing to any aggregate (they are added as
+exact ``0.0`` terms, which leaves IEEE-754 sums unchanged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.device.resources import Processor, Resource
+from repro.device.soc import SoCSpec
+from repro.errors import DeviceError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; avoids an import cycle
+    from repro.device.contention import SystemLoad, TaskPlacement
+
+#: Processor axis of every ``(n, 3)`` array: CPU, GPU, NPU.
+PROC_CPU, PROC_GPU, PROC_NPU = 0, 1, 2
+
+#: Task-slot kinds — the allocation choice of one task. Padding is -1.
+KIND_CPU, KIND_GPU, KIND_NNAPI, KIND_PAD = 0, 1, 2, -1
+
+_RESOURCE_KIND: Dict[Resource, int] = {
+    Resource.CPU: KIND_CPU,
+    Resource.GPU_DELEGATE: KIND_GPU,
+    Resource.NNAPI: KIND_NNAPI,
+}
+
+
+def resource_kind(resource: Resource) -> int:
+    """The plan's integer code for an allocation choice."""
+    return _RESOURCE_KIND[resource]
+
+
+def _soc_column(socs: Sequence[SoCSpec], proc: Processor, table: str) -> np.ndarray:
+    return np.array([getattr(s, table)[proc] for s in socs], dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class EvalPlan:
+    """Structure-of-arrays encoding of N candidate configurations.
+
+    Shapes: ``(n,)`` per row, ``(n, m)`` per task slot, ``(n, 3)`` per
+    processor (axis order ``PROC_CPU``/``PROC_GPU``/``PROC_NPU``), and
+    ``(n, l)`` per scene object when the quality block is present.
+    """
+
+    # --- task slots -------------------------------------------------- (n, m)
+    task_iso_ms: np.ndarray  # isolation latency on the chosen resource
+    task_kind: np.ndarray  # KIND_* codes, int64; KIND_PAD for padding
+    task_cpu_demand: np.ndarray
+    task_gpu_demand: np.ndarray
+    task_npu_coverage: np.ndarray
+    # --- render load -------------------------------------------------- (n,)
+    n_objects: np.ndarray
+    submitted_triangles: np.ndarray
+    rendered_triangles: np.ndarray
+    base_gpu_streams: np.ndarray
+    # --- SoC parameters ------------------------------------- (n, 3) / (n,)
+    capacity: np.ndarray
+    queue_exponent: np.ndarray
+    nnapi_comm_ms: np.ndarray
+    nnapi_comm_gpu_factor: np.ndarray
+    gpu_render_saturation: np.ndarray
+    gpu_render_exponent: np.ndarray
+    gpu_render_rho_max: np.ndarray
+    cpu_objects_per_stream: np.ndarray
+    cpu_triangles_per_stream: np.ndarray
+    gpu_objects_per_stream: np.ndarray
+    gpu_triangles_per_stream: np.ndarray
+    # --- optional cost blocks ----------------------------------------------
+    task_expected_ms: Optional[np.ndarray] = None  # (n, m): Eq. 4 τᵉ
+    obj_ratio: Optional[np.ndarray] = None  # (n, l): per-object R
+    obj_a: Optional[np.ndarray] = None  # (n, l): Eq. 1 a_i
+    obj_b: Optional[np.ndarray] = None
+    obj_c: Optional[np.ndarray] = None
+    obj_denom: Optional[np.ndarray] = None  # (n, l): D^{d_i}, precomputed
+    w: Optional[float] = None  # Eq. 3 weight for φ
+    #: Task ids per row (builders that know them fill this in).
+    row_task_ids: Tuple[Tuple[str, ...], ...] = ()
+
+    def __post_init__(self) -> None:
+        n, m = self.task_iso_ms.shape
+        for name in (
+            "task_kind",
+            "task_cpu_demand",
+            "task_gpu_demand",
+            "task_npu_coverage",
+        ):
+            if getattr(self, name).shape != (n, m):
+                raise DeviceError(f"EvalPlan.{name} must have shape {(n, m)}")
+        for name in (
+            "n_objects",
+            "submitted_triangles",
+            "rendered_triangles",
+            "base_gpu_streams",
+            "nnapi_comm_ms",
+            "nnapi_comm_gpu_factor",
+            "gpu_render_saturation",
+            "gpu_render_exponent",
+            "gpu_render_rho_max",
+            "cpu_objects_per_stream",
+            "cpu_triangles_per_stream",
+            "gpu_objects_per_stream",
+            "gpu_triangles_per_stream",
+        ):
+            if getattr(self, name).shape != (n,):
+                raise DeviceError(f"EvalPlan.{name} must have shape {(n,)}")
+        for name in ("capacity", "queue_exponent"):
+            if getattr(self, name).shape != (n, 3):
+                raise DeviceError(f"EvalPlan.{name} must have shape {(n, 3)}")
+        if self.task_expected_ms is not None and self.task_expected_ms.shape != (n, m):
+            raise DeviceError(f"EvalPlan.task_expected_ms must have shape {(n, m)}")
+        quality_blocks = (self.obj_ratio, self.obj_a, self.obj_b, self.obj_c, self.obj_denom)
+        present = [blk is not None for blk in quality_blocks]
+        if any(present) and not all(present):
+            raise DeviceError("EvalPlan quality block must be all-or-nothing")
+        if self.obj_ratio is not None:
+            shape = self.obj_ratio.shape
+            if len(shape) != 2 or shape[0] != n:
+                raise DeviceError(f"EvalPlan.obj_ratio must have shape (n={n}, l)")
+            for name in ("obj_a", "obj_b", "obj_c", "obj_denom"):
+                blk = getattr(self, name)
+                if blk is None or blk.shape != shape:
+                    raise DeviceError(f"EvalPlan.{name} must have shape {shape}")
+
+    # --------------------------------------------------------------- queries
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.task_iso_ms.shape[0])
+
+    @property
+    def n_task_slots(self) -> int:
+        return int(self.task_iso_ms.shape[1])
+
+    @property
+    def task_active(self) -> np.ndarray:
+        """(n, m) bool: which task slots are real tasks (not padding)."""
+        return self.task_kind != KIND_PAD
+
+    def latency_map(self, latency_ms: np.ndarray, row: int) -> Dict[str, float]:
+        """A solver latency matrix row as a ``task_id → ms`` dict.
+
+        Requires ``row_task_ids`` to have been recorded by the builder.
+        """
+        if not self.row_task_ids:
+            raise DeviceError("this EvalPlan was built without task ids")
+        ids = self.row_task_ids[row]
+        return {tid: float(latency_ms[row, j]) for j, tid in enumerate(ids)}
+
+    # -------------------------------------------------------------- builders
+
+    @classmethod
+    def from_placement_rows(
+        cls,
+        rows: Sequence[
+            Tuple[SoCSpec, Sequence["TaskPlacement"], "SystemLoad"]
+        ],
+    ) -> "EvalPlan":
+        """Build a plan from ``(soc, placements, load)`` rows.
+
+        This is the adapter constructor the scalar entry points use: one
+        row per device/configuration, heterogeneous SoCs and task counts
+        allowed (short rows are padded).
+        """
+        if not rows:
+            raise DeviceError("EvalPlan needs at least one row")
+        n = len(rows)
+        m = max(len(placements) for _, placements, _ in rows)
+        iso = np.zeros((n, m), dtype=np.float64)
+        kind = np.full((n, m), KIND_PAD, dtype=np.int64)
+        cpu_demand = np.zeros((n, m), dtype=np.float64)
+        gpu_demand = np.zeros((n, m), dtype=np.float64)
+        coverage = np.zeros((n, m), dtype=np.float64)
+        task_ids: List[Tuple[str, ...]] = []
+        for i, (_, placements, _) in enumerate(rows):
+            ids: List[str] = []
+            for j, placement in enumerate(placements):
+                profile = placement.profile
+                iso[i, j] = profile.latency(placement.resource)
+                kind[i, j] = _RESOURCE_KIND[placement.resource]
+                cpu_demand[i, j] = profile.cpu_demand
+                gpu_demand[i, j] = profile.gpu_demand
+                coverage[i, j] = profile.npu_coverage
+                ids.append(placement.task_id)
+            task_ids.append(tuple(ids))
+        socs = [soc for soc, _, _ in rows]
+        loads = [load for _, _, load in rows]
+        return cls(
+            task_iso_ms=iso,
+            task_kind=kind,
+            task_cpu_demand=cpu_demand,
+            task_gpu_demand=gpu_demand,
+            task_npu_coverage=coverage,
+            n_objects=np.array([float(ld.n_objects) for ld in loads]),
+            submitted_triangles=np.array(
+                [float(ld.submitted_triangles) for ld in loads]
+            ),
+            rendered_triangles=np.array(
+                [float(ld.rendered_triangles) for ld in loads]
+            ),
+            base_gpu_streams=np.array([float(ld.base_gpu_streams) for ld in loads]),
+            row_task_ids=tuple(task_ids),
+            **_soc_fields(socs),
+        )
+
+    @classmethod
+    def for_single_soc(
+        cls,
+        soc: SoCSpec,
+        *,
+        task_iso_ms: np.ndarray,
+        task_kind: np.ndarray,
+        task_cpu_demand: np.ndarray,
+        task_gpu_demand: np.ndarray,
+        task_npu_coverage: np.ndarray,
+        n_objects: np.ndarray,
+        submitted_triangles: np.ndarray,
+        rendered_triangles: np.ndarray,
+        base_gpu_streams: np.ndarray,
+        task_expected_ms: Optional[np.ndarray] = None,
+        obj_ratio: Optional[np.ndarray] = None,
+        obj_a: Optional[np.ndarray] = None,
+        obj_b: Optional[np.ndarray] = None,
+        obj_c: Optional[np.ndarray] = None,
+        obj_denom: Optional[np.ndarray] = None,
+        w: Optional[float] = None,
+    ) -> "EvalPlan":
+        """Build a homogeneous-device plan straight from arrays.
+
+        The batch evaluators (frontier scoring, enumeration grids) use
+        this: every row runs on the same SoC, so its parameters are
+        broadcast rather than tabulated per row.
+        """
+        n = int(np.asarray(task_iso_ms).shape[0])
+        return cls(
+            task_iso_ms=np.asarray(task_iso_ms, dtype=np.float64),
+            task_kind=np.asarray(task_kind, dtype=np.int64),
+            task_cpu_demand=np.asarray(task_cpu_demand, dtype=np.float64),
+            task_gpu_demand=np.asarray(task_gpu_demand, dtype=np.float64),
+            task_npu_coverage=np.asarray(task_npu_coverage, dtype=np.float64),
+            n_objects=np.asarray(n_objects, dtype=np.float64),
+            submitted_triangles=np.asarray(submitted_triangles, dtype=np.float64),
+            rendered_triangles=np.asarray(rendered_triangles, dtype=np.float64),
+            base_gpu_streams=np.asarray(base_gpu_streams, dtype=np.float64),
+            task_expected_ms=task_expected_ms,
+            obj_ratio=obj_ratio,
+            obj_a=obj_a,
+            obj_b=obj_b,
+            obj_c=obj_c,
+            obj_denom=obj_denom,
+            w=w,
+            **_soc_fields([soc] * n),
+        )
+
+
+def _soc_fields(socs: Sequence[SoCSpec]) -> Dict[str, np.ndarray]:
+    """Tabulate per-row SoC parameters for the plan constructor."""
+    return {
+        "capacity": np.stack(
+            [
+                _soc_column(socs, Processor.CPU, "capacity"),
+                _soc_column(socs, Processor.GPU, "capacity"),
+                _soc_column(socs, Processor.NPU, "capacity"),
+            ],
+            axis=1,
+        ),
+        "queue_exponent": np.stack(
+            [
+                _soc_column(socs, Processor.CPU, "queue_exponent"),
+                _soc_column(socs, Processor.GPU, "queue_exponent"),
+                _soc_column(socs, Processor.NPU, "queue_exponent"),
+            ],
+            axis=1,
+        ),
+        "nnapi_comm_ms": np.array([s.nnapi_comm_ms for s in socs]),
+        "nnapi_comm_gpu_factor": np.array([s.nnapi_comm_gpu_factor for s in socs]),
+        "gpu_render_saturation": np.array([s.gpu_render_saturation for s in socs]),
+        "gpu_render_exponent": np.array([s.gpu_render_exponent for s in socs]),
+        "gpu_render_rho_max": np.array([s.gpu_render_rho_max for s in socs]),
+        "cpu_objects_per_stream": np.array(
+            [s.render_cost.cpu_objects_per_stream for s in socs]
+        ),
+        "cpu_triangles_per_stream": np.array(
+            [s.render_cost.cpu_triangles_per_stream for s in socs]
+        ),
+        "gpu_objects_per_stream": np.array(
+            [s.render_cost.gpu_objects_per_stream for s in socs]
+        ),
+        "gpu_triangles_per_stream": np.array(
+            [s.render_cost.gpu_triangles_per_stream for s in socs]
+        ),
+    }

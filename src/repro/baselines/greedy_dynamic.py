@@ -16,8 +16,10 @@ inherits the full rendering interference.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
+from repro.backend.plan import EvalPlan
+from repro.backend.solve import solve
 from repro.baselines.base import Baseline, BaselineOutcome
 from repro.core.system import MARSystem
 from repro.device.resources import ALL_RESOURCES, Resource
@@ -25,7 +27,13 @@ from repro.errors import ConfigurationError
 
 
 class GreedyDynamicBaseline(Baseline):
-    """Measurement-driven greedy relocation at full quality."""
+    """Measurement-driven greedy relocation at full quality.
+
+    Each search round enumerates its single-task relocations up front and
+    prices all their steady states through one multi-row
+    :func:`repro.backend.solve`; the probes then only draw measurement
+    noise, in the same order a fully sequential search would.
+    """
 
     name = "GreedyDyn"
 
@@ -41,10 +49,41 @@ class GreedyDynamicBaseline(Baseline):
         #: Control periods spent probing (the baseline's overhead metric).
         self.probes = 0
 
-    def _probe(self, system: MARSystem, allocation: Dict[str, Resource]) -> float:
+    def _probe(
+        self,
+        system: MARSystem,
+        allocation: Dict[str, Resource],
+        steady: Optional[Dict[str, float]] = None,
+    ) -> float:
         system.apply_uniform_ratio(allocation, 1.0)
         self.probes += 1
-        return system.measure(samples=self.samples_per_probe).epsilon
+        return system.measure(
+            samples=self.samples_per_probe, steady_latencies=steady
+        ).epsilon
+
+    def _steady_rows(
+        self, system: MARSystem, candidates: List[Dict[str, Resource]]
+    ) -> List[Optional[Dict[str, float]]]:
+        """Steady-state latencies for a round's candidates, one solve.
+
+        Applying an allocation is deterministic and RNG-free, so each
+        candidate is pre-applied to snapshot its (placements, load) row;
+        the probe loop re-applies the one it is measuring. Thermal
+        devices resample locally (their steady state drifts per probe).
+        """
+        if system.device.thermal is not None or not candidates:
+            return [None] * len(candidates)
+        rows = []
+        for candidate in candidates:
+            system.apply_uniform_ratio(candidate, 1.0)
+            device = system.device
+            rows.append((device.soc, device.placements(), device.load))
+        plan = EvalPlan.from_placement_rows(rows)
+        result = solve(plan, exact=True)
+        return [
+            plan.latency_map(result.latency_ms, i)
+            for i in range(len(candidates))
+        ]
 
     def run(self, system: MARSystem) -> BaselineOutcome:
         self.probes = 0
@@ -52,9 +91,9 @@ class GreedyDynamicBaseline(Baseline):
         best_epsilon = self._probe(system, allocation)
 
         for _round in range(self.max_rounds):
-            best_move: Optional[Dict[str, Resource]] = None
-            move_epsilon = best_epsilon
-            # Probe every single-task relocation; keep the best.
+            # The candidate list depends only on the round's starting
+            # allocation, so it can be enumerated (and priced) up front.
+            candidates: List[Dict[str, Resource]] = []
             for task in system.taskset:
                 current = allocation[task.task_id]
                 for resource in ALL_RESOURCES:
@@ -62,9 +101,15 @@ class GreedyDynamicBaseline(Baseline):
                         continue
                     candidate = dict(allocation)
                     candidate[task.task_id] = resource
-                    epsilon = self._probe(system, candidate)
-                    if epsilon < move_epsilon - 1e-6:
-                        best_move, move_epsilon = candidate, epsilon
+                    candidates.append(candidate)
+            steadies = self._steady_rows(system, candidates)
+            best_move: Optional[Dict[str, Resource]] = None
+            move_epsilon = best_epsilon
+            # Probe every single-task relocation; keep the best.
+            for candidate, steady in zip(candidates, steadies):
+                epsilon = self._probe(system, candidate, steady)
+                if epsilon < move_epsilon - 1e-6:
+                    best_move, move_epsilon = candidate, epsilon
             if best_move is None:
                 break  # local optimum
             allocation, best_epsilon = best_move, move_epsilon

@@ -12,16 +12,24 @@ floored by GPU/NPU contention that triangles do not control), SML settles
 at the *knee* of its achievable latency curve: the largest ratio whose
 latency is within ``knee_tolerance`` of the best achievable — decimating
 beyond that point sacrifices quality for nothing.
+
+The scan itself is still sequential (each step's measurement decides
+whether to keep reducing, and the noise stream must be drawn in scan
+order), but the steady-state latencies of the *whole* candidate grid are
+precomputed through one multi-row :func:`repro.backend.solve` call and
+injected into each measurement — the per-step work is then just the
+noise draw.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-import numpy as np
-
+from repro.backend.plan import EvalPlan
+from repro.backend.solve import solve
 from repro.baselines.base import Baseline, BaselineOutcome
 from repro.core.system import MARSystem, Measurement
+from repro.device.resources import Resource
 from repro.errors import ConfigurationError
 
 
@@ -54,20 +62,56 @@ class StaticMatchLatencyBaseline(Baseline):
         self.tolerance = float(tolerance)
         self.knee_tolerance = float(knee_tolerance)
 
+    def _ratio_grid(self) -> List[float]:
+        """The scan's ratio sequence, largest first (same float decrement
+        sequence the scan loop walks)."""
+        grid: List[float] = []
+        ratio = 1.0
+        while ratio >= self.min_ratio - 1e-9:
+            grid.append(ratio)
+            ratio -= self.step
+        return grid
+
+    def _steady_by_step(
+        self,
+        system: MARSystem,
+        allocation: Dict[str, Resource],
+        grid: List[float],
+    ) -> List[Optional[Dict[str, float]]]:
+        """Steady-state latencies for every grid step, one backend solve.
+
+        Applying a configuration is deterministic and RNG-free, so the
+        grid can be pre-applied to snapshot each step's (placements,
+        load) row; the scan re-applies the steps it actually visits.
+        Thermal devices resample their drifting steady state locally.
+        """
+        if system.device.thermal is not None:
+            return [None] * len(grid)
+        rows = []
+        for ratio in grid:
+            system.apply(allocation, ratio)
+            device = system.device
+            rows.append((device.soc, device.placements(), device.load))
+        plan = EvalPlan.from_placement_rows(rows)
+        result = solve(plan, exact=True)
+        return [
+            plan.latency_map(result.latency_ms, i) for i in range(len(grid))
+        ]
+
     def run(self, system: MARSystem) -> BaselineOutcome:
         allocation = system.taskset.affinity_allocation()
+        grid = self._ratio_grid()
+        steady_by_step = self._steady_by_step(system, allocation, grid)
 
         # Gradual reduction (the paper's description), recording the
         # whole achievable (ratio, ε) curve.
         scan: List[Tuple[float, Measurement]] = []
-        ratio = 1.0
-        while ratio >= self.min_ratio - 1e-9:
+        for i, ratio in enumerate(grid):
             system.apply(allocation, ratio)
-            measurement = system.measure()
+            measurement = system.measure(steady_latencies=steady_by_step[i])
             scan.append((ratio, measurement))
             if measurement.epsilon <= self.target_epsilon + self.tolerance:
                 break  # target reached: stop at the largest such ratio
-            ratio -= self.step
 
         chosen_ratio, chosen = scan[-1]
         if chosen.epsilon > self.target_epsilon + self.tolerance:
@@ -77,8 +121,9 @@ class StaticMatchLatencyBaseline(Baseline):
                 if m.epsilon <= best_epsilon + self.knee_tolerance:
                     chosen_ratio, chosen = r, m
                     break
+            step_index = grid.index(chosen_ratio)
             system.apply(allocation, chosen_ratio)
-            chosen = system.measure()
+            chosen = system.measure(steady_latencies=steady_by_step[step_index])
 
         return BaselineOutcome(
             name=self.name,

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
-from scipy.linalg import cho_factor, cho_solve, LinAlgError
+from scipy.linalg import cho_factor, cho_solve, solve_triangular, LinAlgError
 
 from repro.bo.kernels import Kernel, Matern, _as_2d
 from repro.errors import GPFitError
@@ -119,6 +119,68 @@ class GaussianProcess:
         self._alpha = cho_solve(cho, y_n, check_finite=False)
         self._y_train_normalized = y_n
         self._x_train = x
+        self._y_raw = y.copy()
+        self._jitter = jitter
+        return self
+
+    def update(self, x_new: np.ndarray, y_new: float) -> "GaussianProcess":
+        """Condition on one more observation via a rank-1 Cholesky extension.
+
+        BO adds exactly one observation per ``tell``; refitting from
+        scratch repeats an O(n³) factorization every iteration. The
+        Cholesky factor of the bordered covariance matrix extends in
+        O(n²): with ``K_new = [[K, k], [kᵀ, κ]]`` and ``K = L Lᵀ``,
+
+            L_new = [[L, 0], [l₁₂ᵀ, l₂₂]],  L l₁₂ = k,
+            l₂₂ = √(κ − l₁₂ᵀ l₁₂).
+
+        Target standardization and α are recomputed over the full
+        dataset (both are O(n²) given the factor). When the new point is
+        (numerically) a duplicate, l₂₂² degenerates and the method falls
+        back to a full :meth:`fit` with jitter escalation. The posterior
+        matches a full refit to floating-point accuracy (not bitwise —
+        the factor is assembled in a different operation order).
+        """
+        if not self.is_fit:
+            raise GPFitError("update() called before fit()")
+        assert self._x_train is not None
+        row = np.asarray(x_new, dtype=float).ravel()[np.newaxis, :]
+        y_val = float(y_new)
+        if row.shape[1] != self._x_train.shape[1]:
+            raise GPFitError(
+                f"update point has dim {row.shape[1]}, "
+                f"trained on dim {self._x_train.shape[1]}"
+            )
+        if not np.all(np.isfinite(row)) or not np.isfinite(y_val):
+            raise GPFitError("GP update data contains NaN or inf")
+
+        x_all = np.vstack([self._x_train, row])
+        y_all = np.append(self._y_raw, y_val)
+        n = self.n_observations
+        l_mat = self._cho[0]  # lower triangle holds L; upper is unused
+        k_vec = self.kernel(row, self._x_train).ravel()
+        kappa = float(self.kernel.diag(row)[0]) + self.noise + self._jitter
+        l12 = solve_triangular(l_mat, k_vec, lower=True, check_finite=False)
+        l22_sq = kappa - float(l12 @ l12)
+        if l22_sq <= 1e-12:
+            # Numerically dependent point: the extension would lose
+            # positive definiteness. Refit with jitter escalation.
+            return self.fit(x_all, y_all)
+        c_new = np.zeros((n + 1, n + 1))
+        c_new[:n, :n] = l_mat
+        c_new[n, :n] = l12
+        c_new[n, n] = np.sqrt(l22_sq)
+
+        if self.normalize_y:
+            self._y_mean = float(np.mean(y_all))
+            spread = float(np.std(y_all))
+            self._y_std = spread if spread > 1e-12 else 1.0
+        y_n = (y_all - self._y_mean) / self._y_std
+        self._cho = (c_new, True)
+        self._alpha = cho_solve(self._cho, y_n, check_finite=False)
+        self._y_train_normalized = y_n
+        self._x_train = x_all
+        self._y_raw = y_all
         return self
 
     def predict(self, x: np.ndarray) -> GPPosterior:

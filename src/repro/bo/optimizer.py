@@ -128,6 +128,11 @@ class BayesianOptimizer:
         self._rng = make_rng(seed)
         self.state = OptimizerState()
         self._pending: Optional[np.ndarray] = None
+        # Cached surrogate for incremental (rank-1) refits: observations
+        # are append-only, so a fit that is exactly one observation
+        # behind extends in O(n²) instead of refactorizing in O(n³).
+        self._surrogate: Optional[GaussianProcess] = None
+        self._surrogate_n = 0
         #: Number of observations injected by :meth:`warm_start` (they sit
         #: at the front of ``state.observations``).
         self.n_warm = 0
@@ -224,11 +229,21 @@ class BayesianOptimizer:
     # ------------------------------------------------------------ internals
 
     def _fit_surrogate(self) -> GaussianProcess:
-        x = np.asarray([o.z for o in self.state.observations])
-        y = np.asarray([o.cost for o in self.state.observations])
-        gp = GaussianProcess(kernel=self.kernel, noise=self.noise)
-        with obs.span("bo.gp_fit", category="bo", n_obs=len(y)):
-            fitted = gp.fit(x, y)
+        observations = self.state.observations
+        with obs.span("bo.gp_fit", category="bo", n_obs=len(observations)):
+            if (
+                self._surrogate is not None
+                and len(observations) == self._surrogate_n + 1
+            ):
+                latest = observations[-1]
+                fitted = self._surrogate.update(latest.z, latest.cost)
+            else:
+                x = np.asarray([o.z for o in observations])
+                y = np.asarray([o.cost for o in observations])
+                gp = GaussianProcess(kernel=self.kernel, noise=self.noise)
+                fitted = gp.fit(x, y)
+        self._surrogate = fitted
+        self._surrogate_n = len(observations)
         obs.counter("bo_gp_fits").inc()
         return fitted
 
@@ -264,5 +279,10 @@ class BayesianOptimizer:
         candidates = self._candidate_pool()
         scores = self.acquisition(gp, candidates, best_y)
         if not np.any(np.isfinite(scores)):
-            return self.space.sample(self._rng, size=1)[0]
+            # Degenerate posterior (all-NaN scores): np.nanargmax would
+            # raise. Fall back to the first candidate — deterministic,
+            # and it leaves the RNG stream exactly as a scored pick
+            # would, so fixed-seed runs that later leave the degenerate
+            # regime stay reproducible.
+            return candidates[0]
         return candidates[int(np.nanargmax(scores))]

@@ -4,7 +4,7 @@ Commands
 --------
 ``experiment <name>``
     Regenerate one paper artifact (table1, fig2, fig4, fig5, fig6, fig7,
-    fig8, fig9, wsweep, devices) and print it.
+    fig8, fig9, wsweep, devices, frontier) and print it.
 ``tune``
     Run one HBO activation on a scenario and print the configuration it
     settles on; optionally export the run as JSON.
@@ -63,6 +63,9 @@ _EXPERIMENTS = {
     ),
     "devices": lambda seed, cfg: sweep.render_device_comparison(
         sweep.run_device_comparison(seed=seed, config=cfg)
+    ),
+    "frontier": lambda seed, cfg: sweep.render_frontier_grid(
+        sweep.run_frontier_grid(seed=seed)
     ),
 }
 

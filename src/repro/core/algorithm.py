@@ -19,6 +19,7 @@ from repro.bo.optimizer import BayesianOptimizer
 from repro.bo.space import HBOSpace
 from repro.core.allocation import allocate_tasks, proportions_to_counts
 from repro.core.cost import cost_from_measurement
+from repro.core.frontier import FrontierEvaluator, FrontierResult
 from repro.core.system import MARSystem, Measurement
 from repro.device.resources import Resource
 from repro.errors import ConfigurationError
@@ -35,6 +36,24 @@ class IterationResult:
     object_ratios: Mapping[str, float]
     measurement: Measurement
     cost: float  # φ = −B
+
+
+@dataclass(frozen=True)
+class PendingEvaluation:
+    """An iteration that has been applied but not yet measured.
+
+    :meth:`HBOIteration.begin` applies the configuration and returns
+    this; :meth:`HBOIteration.finish` measures, prices and tells. The
+    split exists so a batched driver (the fleet tick) can apply many
+    sessions' configurations, evaluate all their steady states through
+    one backend solve, and only then run each measurement.
+    """
+
+    z: np.ndarray
+    proportions: np.ndarray
+    triangle_ratio: float
+    allocation: Mapping[str, Resource]
+    object_ratios: Mapping[str, float]
 
 
 class HBOIteration:
@@ -92,6 +111,18 @@ class HBOIteration:
 
             self._power_model = PowerModel()
 
+    def score_candidates(self, zs: np.ndarray) -> FrontierResult:
+        """Score a batch of candidate configurations without running them.
+
+        One :func:`repro.backend.solve` pass prices every row of ``zs``
+        (steady-state, noise-free): the live system, its RNG streams and
+        the BO dataset are untouched. Grid scans and acquisition
+        frontiers use this instead of ``evaluate`` in a loop.
+        """
+        return FrontierEvaluator(
+            self.system, self.w, latency_only=self.latency_only
+        ).evaluate(zs)
+
     def run_once(self) -> IterationResult:
         """Execute Algorithm 1 for one control period."""
         return self.evaluate(self.optimizer.ask())  # Line 1
@@ -104,6 +135,16 @@ class HBOIteration:
         through this entry point; ``run_once`` is the single-session path
         where the session's own optimizer proposes.
         """
+        return self.finish(self.begin(z))
+
+    def begin(self, z: np.ndarray) -> PendingEvaluation:
+        """Lines 2–23: decode ``z`` and apply the configuration.
+
+        Leaves the system configured but unmeasured; pair with
+        :meth:`finish`. Batched drivers run many ``begin``\\ s, solve all
+        steady states in one :func:`repro.backend.solve` call, and feed
+        each row back through ``finish(pending, steady_latencies=...)``.
+        """
         space: HBOSpace = self.optimizer.space  # type: ignore[assignment]
         point = space.split(z)
         triangle_ratio = 1.0 if self.latency_only else point.triangle_ratio
@@ -111,7 +152,24 @@ class HBOIteration:
         counts = proportions_to_counts(point.proportions, len(self.system.taskset))
         allocation = allocate_tasks(self.system.taskset, counts)  # Lines 2–22
         object_ratios = self.system.apply(allocation, triangle_ratio)  # Line 23
-        measurement = self.system.measure()  # Line 24
+        return PendingEvaluation(
+            z=z,
+            proportions=point.proportions,
+            triangle_ratio=triangle_ratio,
+            allocation=allocation,
+            object_ratios=object_ratios,
+        )
+
+    def finish(
+        self,
+        pending: PendingEvaluation,
+        steady_latencies: Optional[Mapping[str, float]] = None,
+    ) -> IterationResult:
+        """Lines 24–26: measure, price and record a begun evaluation."""
+        measurement = self.system.measure(
+            steady_latencies=steady_latencies
+        )  # Line 24
+        allocation = pending.allocation
 
         if self.latency_only:
             phi = self.w * measurement.epsilon
@@ -132,14 +190,14 @@ class HBOIteration:
             )
         else:
             phi = cost_from_measurement(measurement, self.w)  # Line 25
-        self.optimizer.tell(z, phi)  # Line 26
+        self.optimizer.tell(pending.z, phi)  # Line 26
 
         return IterationResult(
-            z=z,
-            proportions=point.proportions,
-            triangle_ratio=triangle_ratio,
+            z=pending.z,
+            proportions=pending.proportions,
+            triangle_ratio=pending.triangle_ratio,
             allocation=allocation,
-            object_ratios=object_ratios,
+            object_ratios=pending.object_ratios,
             measurement=measurement,
             cost=phi,
         )

@@ -58,6 +58,69 @@ def proportions_to_counts(proportions: Sequence[float], n_tasks: int) -> List[in
     return counts
 
 
+def proportions_to_counts_batch(
+    proportions: np.ndarray, n_tasks: int
+) -> np.ndarray:
+    """Vectorized Lines 2–12 over an ``(n_rows, n_resources)`` batch.
+
+    Row ``k`` of the result equals ``proportions_to_counts(proportions[k],
+    n_tasks)`` exactly: the floor uses the same ``c_i · M`` float product,
+    and the leftover tasks go to resources in non-increasing-``c_i`` order
+    with ties broken by resource index (a stable argsort on ``-c``).
+    """
+    c = np.asarray(proportions, dtype=float)
+    if c.ndim != 2 or c.shape[1] == 0:
+        raise AllocationError(
+            f"proportions must be a 2-d batch, got shape {c.shape}"
+        )
+    if n_tasks < 0:
+        raise AllocationError(f"n_tasks must be >= 0, got {n_tasks}")
+    sums = np.sum(c, axis=1)
+    bad = np.any(c < -1e-9, axis=1) | (np.abs(sums - 1.0) > 1e-6)
+    if np.any(bad):
+        row = int(np.argmax(bad))
+        raise AllocationError(
+            "proportions must be non-negative and sum to 1, got "
+            f"{c[row].tolist()} (row {row})"
+        )
+
+    counts = np.floor(c * n_tasks).astype(np.int64)
+    remaining = n_tasks - counts.sum(axis=1)
+    order = np.argsort(-c, axis=1, kind="stable")
+    ranks = np.empty_like(order)
+    np.put_along_axis(
+        ranks, order, np.broadcast_to(np.arange(c.shape[1]), c.shape), axis=1
+    )
+    counts += ranks < remaining[:, np.newaxis]
+    return counts
+
+
+def allocations_for_counts(
+    taskset: TaskSet, counts: np.ndarray
+) -> List[Dict[str, Resource]]:
+    """Per-row :func:`allocate_tasks`, memoized on the count vector.
+
+    A frontier grid proposes thousands of configurations but only
+    ``O(M²)`` distinct count vectors exist for M tasks over 3 resources,
+    so the expensive queue drain runs once per *distinct* row and the
+    rest is a dictionary lookup.
+    """
+    counts = np.asarray(counts)
+    if counts.ndim != 2 or counts.shape[1] != len(ALL_RESOURCES):
+        raise AllocationError(
+            f"counts must have shape (n_rows, {len(ALL_RESOURCES)}), "
+            f"got {counts.shape}"
+        )
+    memo: Dict[Tuple[int, ...], Dict[str, Resource]] = {}
+    out: List[Dict[str, Resource]] = []
+    for row in counts:
+        key = tuple(int(v) for v in row)
+        if key not in memo:
+            memo[key] = allocate_tasks(taskset, list(key))
+        out.append(memo[key])
+    return out
+
+
 def build_priority_queue(
     taskset: TaskSet,
 ) -> List[Tuple[float, str, int, Resource]]:

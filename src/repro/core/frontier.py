@@ -1,0 +1,269 @@
+"""Batched noise-free scoring of Algorithm-1 candidate configurations.
+
+The scalar control loop prices one configuration per control period by
+actually driving the system (apply → measure → tell). Enumeration-grid
+callers — acquisition frontiers, baseline grid scans, design-space sweeps
+— need the *model's* view of thousands of candidates without touching
+the live system or its RNG streams. :class:`FrontierEvaluator` maps a
+batch of BO vectors ``z = [c; x]`` through the same deterministic
+pipeline Algorithm 1 uses:
+
+1. ``c`` → integer counts (:func:`~repro.core.allocation.
+   proportions_to_counts_batch`) → per-task allocations (memoized queue
+   drains, :func:`~repro.core.allocation.allocations_for_counts`);
+2. ``x`` → per-object triangle ratios via the batched TD heuristic
+   (:func:`~repro.ar.distribution.distribute_triangles_batch`);
+3. allocations + ratios → one :class:`~repro.backend.plan.EvalPlan`
+   solved in a single :func:`repro.backend.solve` pass → ε, Q and φ per
+   candidate.
+
+Scores are the *steady-state* (noise-free) values: what a measurement
+with ``noise_sigma = 0`` would return. They agree with the scalar
+apply/measure path to ≤ 1e-9 (the grid path uses the solver's fast
+mode, whose powers may differ from libm by 1 ulp).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backend.plan import EvalPlan, resource_kind
+from repro.backend.solve import SolveResult, solve
+from repro.ar.distribution import distribute_triangles_batch
+from repro.core.allocation import allocations_for_counts, proportions_to_counts_batch
+from repro.core.system import MARSystem
+from repro.device.resources import ALL_RESOURCES, Resource
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FrontierResult:
+    """Scores for a batch of candidate configurations.
+
+    Arrays are indexed by candidate row; ``allocations[k]`` is the
+    per-task resource map row ``k`` decoded to (shared dict objects —
+    rows with equal count vectors share one allocation).
+    """
+
+    zs: np.ndarray  # (n, d): the evaluated BO vectors
+    proportions: np.ndarray  # (n, R)
+    triangle_ratio: np.ndarray  # (n,): x actually applied (1.0 if latency-only)
+    counts: np.ndarray  # (n, R) int
+    allocations: Tuple[Mapping[str, Resource], ...]
+    object_ids: Tuple[str, ...]  # sorted instance ids (TD order)
+    object_ratios: np.ndarray  # (n, L)
+    latency_ms: np.ndarray  # (n, M) per-task steady latency
+    epsilon: np.ndarray  # (n,)
+    quality: np.ndarray  # (n,)
+    phi: np.ndarray  # (n,)
+
+    @property
+    def n_candidates(self) -> int:
+        return int(self.zs.shape[0])
+
+    @property
+    def best_index(self) -> int:
+        """Row of the lowest cost φ (ties → first row, deterministic)."""
+        return int(np.argmin(self.phi))
+
+
+class FrontierEvaluator:
+    """Scores batches of BO vectors against one system, without touching it.
+
+    The constructor snapshots everything the score depends on — task
+    profiles, expected latencies, scene geometry, degradation parameters,
+    SoC constants — so repeated :meth:`evaluate` calls do no per-call
+    Python work beyond the (memoized) allocation decode.
+    """
+
+    def __init__(
+        self, system: MARSystem, w: float, latency_only: bool = False
+    ) -> None:
+        if w < 0:
+            raise ConfigurationError(f"w must be >= 0, got {w}")
+        self.system = system
+        self.w = float(w)
+        self.latency_only = bool(latency_only)
+        self.n_resources = system.n_resources
+
+        taskset = system.taskset
+        self._taskset = taskset
+        self._task_ids: Tuple[str, ...] = taskset.task_ids
+        n_tasks = len(taskset)
+        n_res = len(ALL_RESOURCES)
+        # Isolation-latency lookup: (task, resource-index) → ms; NaN marks
+        # incompatible pairs, which the allocator never selects.
+        self._lat_table = np.full((n_tasks, n_res), np.nan, dtype=np.float64)
+        for j, task in enumerate(taskset):
+            for r, res in enumerate(ALL_RESOURCES):
+                if task.profile.supports(res):
+                    self._lat_table[j, r] = task.profile.latency(res)
+        self._kind_of_res = np.array(
+            [resource_kind(res) for res in ALL_RESOURCES], dtype=np.int64
+        )
+        self._res_index = {res: r for r, res in enumerate(ALL_RESOURCES)}
+        self._cpu_demand = np.array(
+            [t.profile.cpu_demand for t in taskset], dtype=np.float64
+        )
+        self._gpu_demand = np.array(
+            [t.profile.gpu_demand for t in taskset], dtype=np.float64
+        )
+        self._npu_coverage = np.array(
+            [t.profile.npu_coverage for t in taskset], dtype=np.float64
+        )
+        expected = taskset.expected_latencies()
+        self._expected = np.array(
+            [expected[tid] for tid in self._task_ids], dtype=np.float64
+        )
+
+        # Scene snapshot in TD (sorted-id) order.
+        self._objects = system.objects_map()
+        self._distances = system.scene.distances()
+        ids = sorted(self._objects)
+        self._object_ids: Tuple[str, ...] = tuple(ids)
+        self._max_tris = np.array(
+            [self._objects[i].max_triangles for i in ids], dtype=np.float64
+        )
+        self._cull = np.array(
+            [
+                system.render_model.culled_fraction(self._distances[i])
+                for i in ids
+            ],
+            dtype=np.float64,
+        )
+        params = [self._objects[i].degradation.params for i in ids]
+        self._obj_a = np.array([p.a for p in params], dtype=np.float64)
+        self._obj_b = np.array([p.b for p in params], dtype=np.float64)
+        self._obj_c = np.array([p.c for p in params], dtype=np.float64)
+        # D^{d_i} with Python-float pow, matching DegradationModel.error.
+        self._obj_denom = np.array(
+            [self._distances[i] ** p.d for i, p in zip(ids, params)],
+            dtype=np.float64,
+        )
+        # Per-allocation task rows, memoized by count vector.
+        self._alloc_rows: Dict[
+            Tuple[int, ...], Tuple[np.ndarray, np.ndarray]
+        ] = {}
+
+    # ----------------------------------------------------------------- public
+
+    def evaluate(self, zs: np.ndarray) -> FrontierResult:
+        """Score ``zs`` (shape ``(n, R + 1)``) in one backend solve."""
+        zs = np.asarray(zs, dtype=np.float64)
+        if zs.ndim == 1:
+            zs = zs[np.newaxis, :]
+        n_res = self.n_resources
+        if zs.ndim != 2 or zs.shape[1] != n_res + 1:
+            raise ConfigurationError(
+                f"candidates must have shape (n, {n_res + 1}), got {zs.shape}"
+            )
+        proportions = zs[:, :n_res]
+        n = zs.shape[0]
+        if self.latency_only:
+            ratios = np.ones(n, dtype=np.float64)
+        else:
+            ratios = zs[:, n_res].copy()
+
+        counts = proportions_to_counts_batch(proportions, len(self._taskset))
+        allocations = allocations_for_counts(self._taskset, counts)
+        kind, iso = self._task_rows(counts, allocations)
+
+        ids, obj_ratios = distribute_triangles_batch(
+            self._objects,
+            self._distances,
+            ratios,
+            reference_ratio=self.system.td_reference_ratio,
+        )
+        drawn = obj_ratios * self._max_tris
+        submitted = drawn.sum(axis=1) if ids else np.zeros(n)
+        rendered = (drawn * self._cull).sum(axis=1) if ids else np.zeros(n)
+
+        quality_block: Dict[str, Optional[np.ndarray]] = {
+            "obj_ratio": None,
+            "obj_a": None,
+            "obj_b": None,
+            "obj_c": None,
+            "obj_denom": None,
+        }
+        if not self.latency_only:
+            shape = (n, len(ids))
+            quality_block = {
+                "obj_ratio": obj_ratios,
+                "obj_a": np.broadcast_to(self._obj_a, shape),
+                "obj_b": np.broadcast_to(self._obj_b, shape),
+                "obj_c": np.broadcast_to(self._obj_c, shape),
+                "obj_denom": np.broadcast_to(self._obj_denom, shape),
+            }
+
+        plan = EvalPlan.for_single_soc(
+            self.system.device.soc,
+            task_iso_ms=iso,
+            task_kind=kind,
+            task_cpu_demand=np.broadcast_to(self._cpu_demand, iso.shape),
+            task_gpu_demand=np.broadcast_to(self._gpu_demand, iso.shape),
+            task_npu_coverage=np.broadcast_to(self._npu_coverage, iso.shape),
+            n_objects=np.full(n, float(len(ids))),
+            submitted_triangles=submitted,
+            rendered_triangles=rendered,
+            base_gpu_streams=np.full(
+                n, self.system.render_model.base_gpu_streams
+            ),
+            task_expected_ms=np.broadcast_to(self._expected, iso.shape),
+            w=self.w,
+            **quality_block,
+        )
+        result: SolveResult = solve(plan)
+        assert result.epsilon is not None and result.phi is not None
+        quality = (
+            result.quality
+            if result.quality is not None
+            else np.ones(n, dtype=np.float64)
+        )
+        return FrontierResult(
+            zs=zs,
+            proportions=proportions,
+            triangle_ratio=ratios,
+            counts=counts,
+            allocations=tuple(allocations),
+            object_ids=tuple(ids),
+            object_ratios=obj_ratios,
+            latency_ms=result.latency_ms,
+            epsilon=result.epsilon,
+            quality=quality,
+            phi=result.phi,
+        )
+
+    # -------------------------------------------------------------- internals
+
+    def _task_rows(
+        self,
+        counts: np.ndarray,
+        allocations: Sequence[Mapping[str, Resource]],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-row (kind, isolation-latency) task arrays.
+
+        Memoized on the count vector — the allocation is a pure function
+        of it — so a thousand-row grid builds only as many distinct rows
+        as there are distinct counts.
+        """
+        kind_rows: List[np.ndarray] = []
+        iso_rows: List[np.ndarray] = []
+        for row, alloc in zip(counts, allocations):
+            key = tuple(int(v) for v in row)
+            cached = self._alloc_rows.get(key)
+            if cached is None:
+                res_ix = np.array(
+                    [self._res_index[alloc[tid]] for tid in self._task_ids],
+                    dtype=np.int64,
+                )
+                cached = (
+                    self._kind_of_res[res_ix],
+                    self._lat_table[np.arange(len(self._task_ids)), res_ix],
+                )
+                self._alloc_rows[key] = cached
+            kind_rows.append(cached[0])
+            iso_rows.append(cached[1])
+        return np.stack(kind_rows), np.stack(iso_rows)

@@ -129,10 +129,21 @@ class MARSystem:
         self.refresh_load()
         return ratios
 
-    def measure(self, samples: Optional[int] = None) -> Measurement:
-        """Observe one control period under the current configuration."""
+    def measure(
+        self,
+        samples: Optional[int] = None,
+        steady_latencies: Optional[Mapping[str, float]] = None,
+    ) -> Measurement:
+        """Observe one control period under the current configuration.
+
+        ``steady_latencies`` forwards precomputed noise-free latencies to
+        the device (see :meth:`DeviceSimulator.measure_period`) so batched
+        callers can share one backend solve across many measurements.
+        """
         n = samples if samples is not None else self.samples_per_period
-        latencies = self.device.measure_period(n_samples=n)
+        latencies = self.device.measure_period(
+            n_samples=n, steady_latencies=steady_latencies
+        )
         epsilon = normalized_average_latency(latencies, self._expected)
         return Measurement(
             latencies_ms=latencies,

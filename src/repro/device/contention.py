@@ -38,6 +38,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping
 
+from repro.backend.plan import EvalPlan
+from repro.backend.solve import solve
 from repro.device.profiles import StaticProfile
 from repro.device.resources import Processor, Resource
 from repro.device.soc import SoCSpec
@@ -194,11 +196,21 @@ class ContentionModel:
     def latencies(
         self, placements: Iterable[TaskPlacement], load: SystemLoad
     ) -> Dict[str, Ms]:
-        """Latency (ms) for every placed task under mutual contention."""
+        """Latency (ms) for every placed task under mutual contention.
+
+        Evaluates through the vectorized backend as a one-row
+        :class:`~repro.backend.plan.EvalPlan` in exact mode, which is
+        bit-identical to composing :meth:`processor_state` with
+        :meth:`task_latency` per task (the scalar methods above remain
+        the executable reference the parity suite checks against).
+        """
         placements = list(placements)
         ids = [p.task_id for p in placements]
         if len(set(ids)) != len(ids):
             dupes = sorted({i for i in ids if ids.count(i) > 1})
             raise DeviceError(f"duplicate task ids in placement set: {dupes}")
-        state = self.processor_state(placements, load)
-        return {p.task_id: self.task_latency(p, state) for p in placements}
+        if not placements:
+            return {}
+        plan = EvalPlan.from_placement_rows([(self.soc, placements, load)])
+        result = solve(plan, exact=True)
+        return plan.latency_map(result.latency_ms, 0)

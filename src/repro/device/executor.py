@@ -222,8 +222,19 @@ class DeviceSimulator:
             )
         return samples
 
-    def measure_period(self, n_samples: int = 20) -> Dict[str, float]:
-        """Average measured latency per task over a control period."""
+    def measure_period(
+        self,
+        n_samples: int = 20,
+        steady_latencies: Optional[Mapping[str, float]] = None,
+    ) -> Dict[str, float]:
+        """Average measured latency per task over a control period.
+
+        ``steady_latencies`` lets a batched caller (the fleet tick, a
+        baseline's grid scan) inject steady-state latencies it already
+        computed through one backend solve, skipping the recomputation
+        here. It is ignored when a thermal model is attached — there the
+        steady state drifts within the period and must be resampled.
+        """
         if n_samples < 1:
             raise DeviceError(f"n_samples must be >= 1, got {n_samples}")
         with obs.span(
@@ -232,11 +243,46 @@ class DeviceSimulator:
             n_tasks=len(self._tasks),
             n_samples=n_samples,
         ):
-            sums = {tid: 0.0 for tid in self._tasks}
-            for _ in range(n_samples):
-                for sample in self.sample_latencies():
-                    sums[sample.task_id] += sample.latency_ms
-            means = {tid: total / n_samples for tid, total in sums.items()}
+            if self.thermal is not None:
+                sums = {tid: 0.0 for tid in self._tasks}
+                for _ in range(n_samples):
+                    for sample in self.sample_latencies():
+                        sums[sample.task_id] += sample.latency_ms
+                means = {tid: total / n_samples for tid, total in sums.items()}
+            else:
+                # Thermal-free steady state is constant across the period:
+                # compute it once (or accept a precomputed batch row) and
+                # draw the whole noise matrix in one call. The (sample,
+                # task) draw order matches the per-sample loop, so the RNG
+                # stream — and therefore every downstream number — is
+                # bit-identical to sampling one inference at a time.
+                steady = (
+                    dict(steady_latencies)
+                    if steady_latencies is not None
+                    else self.steady_state_latencies()
+                )
+                if set(steady) != set(self._tasks):
+                    raise DeviceError(
+                        "steady_latencies task ids do not match the taskset: "
+                        f"{sorted(set(steady) ^ set(self._tasks))}"
+                    )
+                ids = list(self._tasks)
+                lat = np.array([steady[tid] for tid in ids], dtype=np.float64)
+                if self.noise_sigma > 0:
+                    noise = self._rng.normal(
+                        0.0, self.noise_sigma, size=(n_samples, len(ids))
+                    )
+                    noisy = lat[np.newaxis, :] * np.exp(noise)
+                else:
+                    noisy = np.broadcast_to(lat, (n_samples, len(ids)))
+                # Sequential accumulation (not a pairwise np.sum) to match
+                # the scalar loop's addition order bit-for-bit.
+                totals = np.zeros(len(ids), dtype=np.float64)
+                for row in range(n_samples):
+                    totals = totals + noisy[row]
+                means = {
+                    tid: float(totals[j] / n_samples) for j, tid in enumerate(ids)
+                }
         obs.counter("device_measurements").inc()
         latency_hist = obs.histogram("device_task_latency_ms")
         for mean_ms in means.values():

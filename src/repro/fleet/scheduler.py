@@ -22,6 +22,9 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.backend.plan import EvalPlan
+from repro.backend.solve import solve
+from repro.core.algorithm import PendingEvaluation
 from repro.core.controller import HBOConfig
 from repro.errors import FleetError
 from repro.fleet.batch import SharedOptimizerService
@@ -114,20 +117,37 @@ class FleetScheduler:
                 )
 
     def step(self, tick: int) -> None:
-        """One fleet tick: admit, propose (batched), evaluate, retire."""
+        """One fleet tick: admit, propose (batched), evaluate, retire.
+
+        Evaluation is batched end to end: guided proposals come out of
+        one :class:`SharedOptimizerService` GP pass, every stepped
+        session's configuration is applied (``begin``), all their steady
+        states are computed in **one** :func:`repro.backend.solve` over a
+        multi-row :class:`~repro.backend.plan.EvalPlan` (heterogeneous
+        devices and tasksets ride in the same batch), and each session
+        then finishes its control period from its row. Sessions own
+        decorrelated RNG streams and the backend's rows are independent,
+        so the result is bit-identical to stepping sessions one at a
+        time.
+        """
         with obs.span("fleet.tick", category="fleet", tick=tick) as span:
             self._admit_arrivals(tick)
             active = [s for s in self.sessions if s.active]
             guided = [s for s in active if s.needs_guided_proposal]
             initial = [s for s in active if not s.needs_guided_proposal]
+            stepped: List[Tuple[FleetSession, PendingEvaluation]] = []
             if guided:
                 proposals = self.service.propose(
                     [s.optimizer for s in guided], [s.rng for s in guided]
                 )
                 for session, z in zip(guided, proposals):
-                    session.step_guided(z)
+                    stepped.append((session, session.begin_guided(z)))
             for session in initial:
-                session.step_initial()
+                stepped.append((session, session.begin_initial()))
+            for (session, pending), steady in zip(
+                stepped, self._batched_steady(stepped)
+            ):
+                session.finish_step(pending, steady_latencies=steady)
             for session in active:
                 if session.budget_exhausted:
                     session.finish(tick, store=self.store)
@@ -137,6 +157,31 @@ class FleetScheduler:
             self.clock.advance(self.config.tick_s)
         obs.counter("fleet_ticks").inc()
         obs.gauge("fleet_active_sessions").set(len(active))
+
+    def _batched_steady(
+        self, stepped: Sequence[Tuple[FleetSession, PendingEvaluation]]
+    ) -> List[Optional[Dict[str, float]]]:
+        """Steady-state latencies for all stepped sessions, one solve.
+
+        Sessions with a thermal model get ``None`` — their steady state
+        drifts within the period, so the device resamples it locally.
+        """
+        rows = []
+        row_of: Dict[int, int] = {}
+        for i, (session, _) in enumerate(stepped):
+            assert session.system is not None
+            device = session.system.device
+            if device.thermal is None:
+                row_of[i] = len(rows)
+                rows.append((device.soc, device.placements(), device.load))
+        if not rows:
+            return [None] * len(stepped)
+        plan = EvalPlan.from_placement_rows(rows)
+        result = solve(plan, exact=True)
+        return [
+            plan.latency_map(result.latency_ms, row_of[i]) if i in row_of else None
+            for i in range(len(stepped))
+        ]
 
     def run(self) -> FleetResult:
         """Drive the fleet until every session has drained."""

@@ -20,14 +20,14 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Mapping, Optional
 
 import numpy as np
 
 from repro.bo.kernels import Matern
 from repro.bo.optimizer import BayesianOptimizer
 from repro.bo.space import HBOSpace
-from repro.core.algorithm import HBOIteration, IterationResult
+from repro.core.algorithm import HBOIteration, IterationResult, PendingEvaluation
 from repro.core.controller import HBOConfig
 from repro.core.lookup import EnvironmentSignature
 from repro.core.system import MARSystem
@@ -186,20 +186,41 @@ class FleetSession:
 
     def step_initial(self) -> IterationResult:
         """One control period with the session's own (random-phase) ask."""
-        if not self.active or self.iteration is None:
-            raise FleetError(f"{self.spec.session_id}: stepped while not active")
-        result = self.iteration.run_once()
-        self.results.append(result)
-        return result
+        return self.finish_step(self.begin_initial())
 
     def step_guided(self, z: np.ndarray) -> IterationResult:
         """One control period evaluating a proposal computed by the shared
         batched optimizer service."""
+        return self.finish_step(self.begin_guided(z))
+
+    def begin_initial(self) -> PendingEvaluation:
+        """Ask the session's own optimizer and apply the configuration."""
+        if not self.active or self.iteration is None or self.optimizer is None:
+            raise FleetError(f"{self.spec.session_id}: stepped while not active")
+        return self.iteration.begin(self.optimizer.ask())
+
+    def begin_guided(self, z: np.ndarray) -> PendingEvaluation:
+        """Record and apply a proposal from the shared batched service."""
         if not self.active or self.iteration is None or self.optimizer is None:
             raise FleetError(f"{self.spec.session_id}: stepped while not active")
         z = np.asarray(z, dtype=float).ravel()
         self.optimizer.state.proposals.append(z.copy())
-        result = self.iteration.evaluate(z)
+        return self.iteration.begin(z)
+
+    def finish_step(
+        self,
+        pending: PendingEvaluation,
+        steady_latencies: Optional[Mapping[str, float]] = None,
+    ) -> IterationResult:
+        """Measure + record a begun control period.
+
+        The scheduler computes every stepped session's steady state in
+        one :func:`repro.backend.solve` pass and injects each row here;
+        passing ``None`` recomputes it locally (identical bits).
+        """
+        if not self.active or self.iteration is None:
+            raise FleetError(f"{self.spec.session_id}: stepped while not active")
+        result = self.iteration.finish(pending, steady_latencies=steady_latencies)
         self.results.append(result)
         return result
 

@@ -1,0 +1,242 @@
+"""Property-based parity suite: scalar reference path vs batched backend.
+
+The vectorized solver (:mod:`repro.backend.solve`) claims two contracts:
+
+- **exact mode** reproduces the scalar reference path — per-processor
+  slowdowns, per-task latencies, Eq. 4 ε, Eq. 2 quality and Eq. 5 φ —
+  *bit for bit*, including row independence under padding;
+- **fast mode** stays within 1e-9 relative of the scalar path.
+
+These tests hammer both over random placements, render loads, triangle
+budgets and degradation parameters on both Table I device profiles.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.backend.plan import EvalPlan, resource_kind
+from repro.backend.solve import solve
+from repro.core.cost import cost, normalized_average_latency
+from repro.device.contention import ContentionModel, SystemLoad, TaskPlacement
+from repro.device.profiles import GALAXY_S22, PIXEL7, get_profile
+from repro.device.resources import ALL_RESOURCES, Processor
+from repro.device.soc import galaxy_s22_soc, pixel7_soc
+
+_SOC_OF = {PIXEL7: pixel7_soc, GALAXY_S22: galaxy_s22_soc}
+_MODELS = (
+    "deconv-munet",
+    "deeplabv3",
+    "efficientdet-lite",
+    "mobilenetDetv1",
+    "efficientclass-lite0",
+    "inception-v1-q",
+    "mobilenet-v1",
+    "model-metadata",
+    "mnist",
+)
+
+devices = st.sampled_from([PIXEL7, GALAXY_S22])
+task_specs = st.lists(
+    st.tuples(st.sampled_from(_MODELS), st.integers(0, 5)),
+    min_size=1,
+    max_size=6,
+)
+loads = st.builds(
+    SystemLoad,
+    rendered_triangles=st.floats(min_value=0.0, max_value=1.5e6),
+    n_objects=st.integers(0, 12),
+    submitted_triangles=st.none(),
+    base_gpu_streams=st.floats(min_value=0.0, max_value=2.0),
+)
+
+
+def _placements(device, specs):
+    """Resolve (model, choice) specs to valid placements on ``device``."""
+    out = []
+    for i, (model, choice) in enumerate(specs):
+        profile = get_profile(device, model)
+        supported = [r for r in ALL_RESOURCES if profile.supports(r)]
+        out.append(
+            TaskPlacement(f"t{i}", profile, supported[choice % len(supported)])
+        )
+    return out
+
+
+def _scalar_reference(model, placements, load):
+    """The scalar path, composed method by method (never the backend)."""
+    state = model.processor_state(placements, load)
+    latencies = {
+        p.task_id: model.task_latency(p, state) for p in placements
+    }
+    return state, latencies
+
+
+class TestLatencyParity:
+    @given(device=devices, specs=task_specs, load=loads)
+    @settings(max_examples=150, deadline=None)
+    def test_exact_mode_is_bitwise(self, device, specs, load):
+        """solve(exact=True) == scalar path to the last bit: slowdowns
+        and every per-task latency."""
+        soc = _SOC_OF[device]()
+        model = ContentionModel(soc)
+        placements = _placements(device, specs)
+        state, scalar_lat = _scalar_reference(model, placements, load)
+
+        plan = EvalPlan.from_placement_rows([(soc, placements, load)])
+        result = solve(plan, exact=True)
+
+        assert result.slowdown[0, 0] == state.slowdown[Processor.CPU]
+        assert result.slowdown[0, 1] == state.slowdown[Processor.GPU]
+        assert result.slowdown[0, 2] == state.slowdown[Processor.NPU]
+        batched = plan.latency_map(result.latency_ms, 0)
+        assert set(batched) == set(scalar_lat)
+        for task_id in scalar_lat:
+            assert batched[task_id] == scalar_lat[task_id]
+
+    @given(device=devices, specs=task_specs, load=loads)
+    @settings(max_examples=150, deadline=None)
+    def test_fast_mode_within_1e9(self, device, specs, load):
+        """Fast mode (SIMD pow) stays within 1e-9 relative of scalar."""
+        soc = _SOC_OF[device]()
+        model = ContentionModel(soc)
+        placements = _placements(device, specs)
+        state, scalar_lat = _scalar_reference(model, placements, load)
+
+        plan = EvalPlan.from_placement_rows([(soc, placements, load)])
+        result = solve(plan)
+
+        expected_slow = [
+            state.slowdown[Processor.CPU],
+            state.slowdown[Processor.GPU],
+            state.slowdown[Processor.NPU],
+        ]
+        np.testing.assert_allclose(result.slowdown[0], expected_slow, rtol=1e-9)
+        batched = plan.latency_map(result.latency_ms, 0)
+        for task_id, ms in scalar_lat.items():
+            np.testing.assert_allclose(batched[task_id], ms, rtol=1e-9)
+
+    @given(
+        device=devices,
+        rows=st.lists(st.tuples(task_specs, loads), min_size=2, max_size=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_row_independence_under_padding(self, device, rows):
+        """A row's bits don't depend on its batch-mates: heterogeneous
+        task counts are padded, and padding must be inert."""
+        soc = _SOC_OF[device]()
+        built = [(soc, _placements(device, specs), load) for specs, load in rows]
+        batched_plan = EvalPlan.from_placement_rows(built)
+        batched = solve(batched_plan, exact=True)
+        for i, row in enumerate(built):
+            single_plan = EvalPlan.from_placement_rows([row])
+            single = solve(single_plan, exact=True)
+            assert np.array_equal(batched.slowdown[i], single.slowdown[0])
+            m = len(row[1])
+            assert np.array_equal(
+                batched.latency_ms[i, :m], single.latency_ms[0, :m]
+            )
+            assert np.all(batched.latency_ms[i, m:] == 0.0)
+
+
+degradation_objects = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=2.0),  # a
+        st.floats(min_value=-4.0, max_value=0.0),  # b
+        st.floats(min_value=0.0, max_value=3.0),  # c
+        st.floats(min_value=0.0, max_value=2.0),  # d
+        st.floats(min_value=0.05, max_value=1.0),  # ratio
+        st.floats(min_value=0.1, max_value=10.0),  # distance
+    ),
+    min_size=0,
+    max_size=6,
+)
+
+
+class TestCostParity:
+    @given(
+        device=devices,
+        specs=task_specs,
+        load=loads,
+        objects=degradation_objects,
+        expected_scale=st.floats(min_value=0.5, max_value=2.0),
+        w=st.floats(min_value=0.0, max_value=10.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_epsilon_quality_phi_match_scalar(
+        self, device, specs, load, objects, expected_scale, w
+    ):
+        """ε (Eq. 4), Q (Eq. 2) and φ (Eq. 5) from one batched solve match
+        their scalar definitions — bitwise in exact mode."""
+        soc = _SOC_OF[device]()
+        model = ContentionModel(soc)
+        placements = _placements(device, specs)
+        _, scalar_lat = _scalar_reference(model, placements, load)
+        m = len(placements)
+
+        expected_ms = {
+            p.task_id: expected_scale * p.profile.latency(p.resource)
+            for p in placements
+        }
+        scalar_eps = normalized_average_latency(scalar_lat, expected_ms)
+
+        # Scalar Eq. 1/2: per-object error, sequentially averaged (the
+        # same accumulation order the backend commits to).
+        scalar_q = 1.0
+        if objects:
+            total = 0.0
+            for a, b, c, d, ratio, distance in objects:
+                numerator = a * ratio**2 + b * ratio + c
+                error = float(np.clip(numerator / distance**d, 0.0, 1.0))
+                total += 1.0 - error
+            scalar_q = total / len(objects)
+        scalar_phi = cost(scalar_q, scalar_eps, w)
+
+        l = len(objects)  # noqa: E741 — Eq. 2's object count
+        quality_block = dict(
+            obj_ratio=np.array([[o[4] for o in objects]]).reshape(1, l),
+            obj_a=np.array([[o[0] for o in objects]]).reshape(1, l),
+            obj_b=np.array([[o[1] for o in objects]]).reshape(1, l),
+            obj_c=np.array([[o[2] for o in objects]]).reshape(1, l),
+            obj_denom=np.array([[o[5] ** o[3] for o in objects]]).reshape(1, l),
+        )
+        plan = EvalPlan.for_single_soc(
+            soc,
+            task_iso_ms=np.array(
+                [[p.profile.latency(p.resource) for p in placements]]
+            ),
+            task_kind=np.array([[resource_kind(p.resource) for p in placements]]),
+            task_cpu_demand=np.array(
+                [[p.profile.cpu_demand for p in placements]]
+            ),
+            task_gpu_demand=np.array(
+                [[p.profile.gpu_demand for p in placements]]
+            ),
+            task_npu_coverage=np.array(
+                [[p.profile.npu_coverage for p in placements]]
+            ),
+            n_objects=np.array([float(load.n_objects)]),
+            submitted_triangles=np.array([load.submitted_triangles]),
+            rendered_triangles=np.array([load.rendered_triangles]),
+            base_gpu_streams=np.array([load.base_gpu_streams]),
+            task_expected_ms=np.array(
+                [[expected_ms[p.task_id] for p in placements]]
+            ),
+            w=float(w),
+            **quality_block,
+        )
+        assert plan.n_task_slots == m
+
+        result = solve(plan, exact=True)
+        assert result.epsilon is not None
+        assert result.quality is not None
+        assert result.phi is not None
+        assert result.epsilon[0] == scalar_eps
+        assert result.quality[0] == scalar_q
+        assert result.phi[0] == scalar_phi
+
+        fast = solve(plan)
+        np.testing.assert_allclose(fast.epsilon[0], scalar_eps, rtol=1e-9)
+        np.testing.assert_allclose(fast.quality[0], scalar_q, rtol=1e-9)
+        np.testing.assert_allclose(
+            fast.phi[0], scalar_phi, rtol=1e-9, atol=1e-9
+        )

@@ -1,0 +1,65 @@
+"""Distill the backend microbenchmarks into the committed BENCH_pr4.json.
+
+Usage: python tools/bench_pr4.py <pytest-benchmark-json> <output-json>
+
+Reads the raw ``--benchmark-json`` output of ``benchmarks/test_microbench.py``
+and reduces the three PR-4 benches to the numbers the performance docs quote:
+median ns per configuration for the scalar and batched grid paths (plus
+their ratio, the batching speedup) and the fleet scheduler's tick rate.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict
+
+
+def _bench(raw: Dict[str, Any], name: str) -> Dict[str, Any]:
+    for entry in raw["benchmarks"]:
+        if entry["name"] == name:
+            return entry
+    raise SystemExit(f"benchmark {name!r} not found in the raw report")
+
+
+def distill(raw: Dict[str, Any]) -> Dict[str, Any]:
+    scalar = _bench(raw, "test_frontier_grid_scalar")
+    batched = _bench(raw, "test_frontier_grid_batched")
+    fleet = _bench(raw, "test_fleet_tick_throughput")
+
+    n_configs = int(scalar["extra_info"]["n_configs"])
+    scalar_ns = scalar["stats"]["median"] * 1e9 / n_configs
+    batched_ns = batched["stats"]["median"] * 1e9 / n_configs
+    ticks = int(fleet["extra_info"]["ticks"])
+    fleet_s = fleet["stats"]["median"]
+
+    return {
+        "source": "benchmarks/test_microbench.py (make bench)",
+        "grid": {
+            "n_configs": n_configs,
+            "scalar_ns_per_config": round(scalar_ns, 1),
+            "batched_ns_per_config": round(batched_ns, 1),
+            "speedup": round(scalar_ns / batched_ns, 2),
+        },
+        "fleet": {
+            "ticks": ticks,
+            "median_s": round(fleet_s, 4),
+            "ticks_per_s": round(ticks / fleet_s, 1),
+        },
+    }
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__)
+    with open(sys.argv[1], encoding="utf-8") as fh:
+        raw = json.load(fh)
+    report = distill(raw)
+    with open(sys.argv[2], "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {sys.argv[2]}: {json.dumps(report['grid'])}")
+
+
+if __name__ == "__main__":
+    main()
