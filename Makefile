@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: reprolint ruff mypy lint test fleet-smoke trace-smoke bench bench-smoke check
+.PHONY: reprolint ruff mypy lint test fleet-smoke trace-smoke edge-smoke bench bench-smoke check
 
 reprolint:
 	PYTHONPATH=tools $(PYTHON) -m reprolint src benchmarks examples
@@ -41,12 +41,23 @@ trace-smoke:
 		--out /tmp/repro-trace-smoke.trace.json \
 		--metrics /tmp/repro-trace-smoke.metrics.json
 
+# Edge offloading smoke: a 16-session fleet sharing ONE edge server must
+# be bit-reproducible — run it twice at seed 2024 and byte-compare.
+edge-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro fleet --edge --sessions 16 --seed 2024 \
+		--initial 2 --iterations 3 > /tmp/repro-edge-smoke-a.txt
+	PYTHONPATH=src $(PYTHON) -m repro fleet --edge --sessions 16 --seed 2024 \
+		--initial 2 --iterations 3 > /tmp/repro-edge-smoke-b.txt
+	cmp /tmp/repro-edge-smoke-a.txt /tmp/repro-edge-smoke-b.txt
+	@echo "edge-smoke: 16-session --edge fleet is bit-reproducible"
+
 # Time the hot kernels and distill the scalar-vs-batched backend numbers
 # into the committed BENCH_pr4.json (see docs/performance.md).
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_microbench.py -q \
 		--benchmark-only --benchmark-json=/tmp/repro-bench-pr4.json
 	$(PYTHON) tools/bench_pr4.py /tmp/repro-bench-pr4.json BENCH_pr4.json
+	PYTHONPATH=src $(PYTHON) tools/bench_pr5.py BENCH_pr5.json
 
 # Run every microbench body once, untimed: catches API drift in the bench
 # suite without paying for calibration rounds.
@@ -54,4 +65,4 @@ bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_microbench.py -q \
 		--benchmark-disable
 
-check: lint test fleet-smoke trace-smoke bench-smoke
+check: lint test fleet-smoke trace-smoke edge-smoke bench-smoke

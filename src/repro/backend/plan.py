@@ -23,7 +23,13 @@ import numpy as np
 
 from repro.device.resources import Processor, Resource
 from repro.device.soc import SoCSpec
-from repro.errors import DeviceError
+from repro.edge.share import (
+    EdgeShare,
+    edge_compute_ms,
+    edge_demand,
+    edge_tx_ms,
+)
+from repro.errors import DeviceError, EdgeError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only; avoids an import cycle
     from repro.device.contention import SystemLoad, TaskPlacement
@@ -32,12 +38,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only; avoids an import cycle
 PROC_CPU, PROC_GPU, PROC_NPU = 0, 1, 2
 
 #: Task-slot kinds — the allocation choice of one task. Padding is -1.
-KIND_CPU, KIND_GPU, KIND_NNAPI, KIND_PAD = 0, 1, 2, -1
+KIND_CPU, KIND_GPU, KIND_NNAPI, KIND_EDGE, KIND_PAD = 0, 1, 2, 3, -1
 
 _RESOURCE_KIND: Dict[Resource, int] = {
     Resource.CPU: KIND_CPU,
     Resource.GPU_DELEGATE: KIND_GPU,
     Resource.NNAPI: KIND_NNAPI,
+    Resource.EDGE: KIND_EDGE,
 }
 
 
@@ -90,6 +97,14 @@ class EvalPlan:
     obj_c: Optional[np.ndarray] = None
     obj_denom: Optional[np.ndarray] = None  # (n, l): D^{d_i}, precomputed
     w: Optional[float] = None  # Eq. 3 weight for φ
+    # --- optional edge block (all-or-nothing; required iff any KIND_EDGE) --
+    #: (n, m): link transfer of each offloaded slot at the row's snapshot.
+    task_edge_tx_ms: Optional[np.ndarray] = None
+    #: (n, m): stream weight each offloaded slot places on the server.
+    task_edge_demand: Optional[np.ndarray] = None
+    edge_capacity: Optional[np.ndarray] = None  # (n,)
+    edge_queue_exponent: Optional[np.ndarray] = None  # (n,)
+    edge_extern_streams: Optional[np.ndarray] = None  # (n,)
     #: Task ids per row (builders that know them fill this in).
     row_task_ids: Tuple[Tuple[str, ...], ...] = ()
 
@@ -137,6 +152,32 @@ class EvalPlan:
                 blk = getattr(self, name)
                 if blk is None or blk.shape != shape:
                     raise DeviceError(f"EvalPlan.{name} must have shape {shape}")
+        edge_blocks = (
+            self.task_edge_tx_ms,
+            self.task_edge_demand,
+            self.edge_capacity,
+            self.edge_queue_exponent,
+            self.edge_extern_streams,
+        )
+        edge_present = [blk is not None for blk in edge_blocks]
+        if any(edge_present) and not all(edge_present):
+            raise DeviceError("EvalPlan edge block must be all-or-nothing")
+        if self.task_edge_tx_ms is not None:
+            for name in ("task_edge_tx_ms", "task_edge_demand"):
+                if getattr(self, name).shape != (n, m):
+                    raise DeviceError(f"EvalPlan.{name} must have shape {(n, m)}")
+            for name in (
+                "edge_capacity",
+                "edge_queue_exponent",
+                "edge_extern_streams",
+            ):
+                if getattr(self, name).shape != (n,):
+                    raise DeviceError(f"EvalPlan.{name} must have shape {(n,)}")
+        elif bool(np.any(self.task_kind == KIND_EDGE)):
+            raise EdgeError(
+                "EvalPlan contains EDGE task slots but no edge block; "
+                "pricing an offloaded placement needs an EdgeShare snapshot"
+            )
 
     # --------------------------------------------------------------- queries
 
@@ -168,39 +209,78 @@ class EvalPlan:
     @classmethod
     def from_placement_rows(
         cls,
-        rows: Sequence[
-            Tuple[SoCSpec, Sequence["TaskPlacement"], "SystemLoad"]
-        ],
+        rows: Sequence[Tuple],
     ) -> "EvalPlan":
-        """Build a plan from ``(soc, placements, load)`` rows.
+        """Build a plan from ``(soc, placements, load[, edge_share])`` rows.
 
         This is the adapter constructor the scalar entry points use: one
         row per device/configuration, heterogeneous SoCs and task counts
-        allowed (short rows are padded).
+        allowed (short rows are padded). The optional fourth element is
+        an :class:`~repro.edge.share.EdgeShare` (or ``None``); the plan
+        carries an edge block only if at least one row supplies one, so
+        device-only batches stay byte-identical to pre-edge plans.
         """
         if not rows:
             raise DeviceError("EvalPlan needs at least one row")
-        n = len(rows)
-        m = max(len(placements) for _, placements, _ in rows)
+        parsed: List[Tuple[SoCSpec, Sequence["TaskPlacement"], "SystemLoad", Optional[EdgeShare]]] = []
+        for row in rows:
+            if len(row) == 3:
+                soc, placements, load = row
+                share: Optional[EdgeShare] = None
+            elif len(row) == 4:
+                soc, placements, load, share = row
+            else:
+                raise DeviceError(
+                    f"placement rows must have 3 or 4 elements, got {len(row)}"
+                )
+            parsed.append((soc, placements, load, share))
+        n = len(parsed)
+        m = max(len(placements) for _, placements, _, _ in parsed)
+        any_edge = any(share is not None for _, _, _, share in parsed)
         iso = np.zeros((n, m), dtype=np.float64)
         kind = np.full((n, m), KIND_PAD, dtype=np.int64)
         cpu_demand = np.zeros((n, m), dtype=np.float64)
         gpu_demand = np.zeros((n, m), dtype=np.float64)
         coverage = np.zeros((n, m), dtype=np.float64)
+        edge_tx = np.zeros((n, m), dtype=np.float64) if any_edge else None
+        edge_dem = np.zeros((n, m), dtype=np.float64) if any_edge else None
+        edge_cap = np.ones(n, dtype=np.float64) if any_edge else None
+        edge_exp = np.ones(n, dtype=np.float64) if any_edge else None
+        edge_ext = np.zeros(n, dtype=np.float64) if any_edge else None
         task_ids: List[Tuple[str, ...]] = []
-        for i, (_, placements, _) in enumerate(rows):
+        for i, (_, placements, _, share) in enumerate(parsed):
+            if share is not None:
+                assert edge_cap is not None and edge_exp is not None
+                assert edge_ext is not None
+                edge_cap[i] = share.capacity_streams
+                edge_exp[i] = share.queue_exponent
+                edge_ext[i] = share.extern_streams
             ids: List[str] = []
             for j, placement in enumerate(placements):
                 profile = placement.profile
-                iso[i, j] = profile.latency(placement.resource)
+                if placement.resource is Resource.EDGE:
+                    if share is None:
+                        raise EdgeError(
+                            f"{placement.task_id!r} is placed on EDGE but its "
+                            "row carries no EdgeShare"
+                        )
+                    assert edge_tx is not None and edge_dem is not None
+                    # iso carries the *server compute* part; the transfer
+                    # rides in task_edge_tx_ms (same decomposition as the
+                    # scalar ContentionModel.task_latency).
+                    iso[i, j] = edge_compute_ms(profile, share)
+                    edge_tx[i, j] = edge_tx_ms(profile, share)
+                    edge_dem[i, j] = edge_demand(profile)
+                else:
+                    iso[i, j] = profile.latency(placement.resource)
                 kind[i, j] = _RESOURCE_KIND[placement.resource]
                 cpu_demand[i, j] = profile.cpu_demand
                 gpu_demand[i, j] = profile.gpu_demand
                 coverage[i, j] = profile.npu_coverage
                 ids.append(placement.task_id)
             task_ids.append(tuple(ids))
-        socs = [soc for soc, _, _ in rows]
-        loads = [load for _, _, load in rows]
+        socs = [soc for soc, _, _, _ in parsed]
+        loads = [load for _, _, load, _ in parsed]
         return cls(
             task_iso_ms=iso,
             task_kind=kind,
@@ -215,6 +295,11 @@ class EvalPlan:
                 [float(ld.rendered_triangles) for ld in loads]
             ),
             base_gpu_streams=np.array([float(ld.base_gpu_streams) for ld in loads]),
+            task_edge_tx_ms=edge_tx,
+            task_edge_demand=edge_dem,
+            edge_capacity=edge_cap,
+            edge_queue_exponent=edge_exp,
+            edge_extern_streams=edge_ext,
             row_task_ids=tuple(task_ids),
             **_soc_fields(socs),
         )
@@ -240,6 +325,11 @@ class EvalPlan:
         obj_c: Optional[np.ndarray] = None,
         obj_denom: Optional[np.ndarray] = None,
         w: Optional[float] = None,
+        task_edge_tx_ms: Optional[np.ndarray] = None,
+        task_edge_demand: Optional[np.ndarray] = None,
+        edge_capacity: Optional[np.ndarray] = None,
+        edge_queue_exponent: Optional[np.ndarray] = None,
+        edge_extern_streams: Optional[np.ndarray] = None,
     ) -> "EvalPlan":
         """Build a homogeneous-device plan straight from arrays.
 
@@ -265,6 +355,11 @@ class EvalPlan:
             obj_c=obj_c,
             obj_denom=obj_denom,
             w=w,
+            task_edge_tx_ms=task_edge_tx_ms,
+            task_edge_demand=task_edge_demand,
+            edge_capacity=edge_capacity,
+            edge_queue_exponent=edge_queue_exponent,
+            edge_extern_streams=edge_extern_streams,
             **_soc_fields([soc] * n),
         )
 

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.backend.plan import (
     KIND_CPU,
+    KIND_EDGE,
     KIND_GPU,
     KIND_NNAPI,
     PROC_CPU,
@@ -65,6 +66,9 @@ class SolveResult:
     epsilon: Optional[np.ndarray] = None  # (n,): Eq. 4
     quality: Optional[np.ndarray] = None  # (n,): Eq. 2
     phi: Optional[np.ndarray] = None  # (n,): Eq. 5 cost
+    #: (n,): edge-server slowdown per row; present iff the plan carried
+    #: an edge block.
+    edge_slowdown: Optional[np.ndarray] = None
 
 
 def solve(plan: EvalPlan, exact: bool = False) -> SolveResult:
@@ -96,6 +100,14 @@ def _solve_rows(plan: EvalPlan, exact: bool) -> SolveResult:
     )
     gpu = plan.base_gpu_streams + plan.n_objects / plan.gpu_objects_per_stream
     npu = np.zeros(n, dtype=np.float64)
+    # Edge slots put no streams on the SoC; their server-side demand
+    # accumulates separately (scalar ref: ContentionModel.edge_streams,
+    # which starts from the snapshot's external streams).
+    has_edge = plan.task_edge_tx_ms is not None
+    edge: Optional[np.ndarray] = None
+    if has_edge:
+        assert plan.edge_extern_streams is not None
+        edge = plan.edge_extern_streams.astype(np.float64)
     for j in range(m):
         kind = plan.task_kind[:, j]
         coverage = plan.task_npu_coverage[:, j]
@@ -107,6 +119,11 @@ def _solve_rows(plan: EvalPlan, exact: bool) -> SolveResult:
             (1.0 - coverage) * plan.task_gpu_demand[:, j],
             0.0,
         )
+        if edge is not None:
+            assert plan.task_edge_demand is not None
+            edge = edge + np.where(
+                kind == KIND_EDGE, plan.task_edge_demand[:, j], 0.0
+            )
 
     # --- slowdowns (scalar ref: SoCSpec.slowdown / render_penalty).
     def processor_slowdown(streams: np.ndarray, proc: int) -> np.ndarray:
@@ -124,6 +141,17 @@ def _solve_rows(plan: EvalPlan, exact: bool) -> SolveResult:
     slow_gpu = processor_slowdown(gpu, PROC_GPU) * (1.0 / (1.0 - rho))
     slowdown = np.stack([slow_cpu, slow_gpu, slow_npu], axis=1)
 
+    # Edge-server slowdown (scalar ref: edge.share.edge_slowdown). Only
+    # materialized when the plan carries an edge block, so device-only
+    # plans execute exactly the pre-edge instruction stream.
+    slow_edge: Optional[np.ndarray] = None
+    if edge is not None:
+        assert plan.edge_capacity is not None
+        assert plan.edge_queue_exponent is not None
+        edge_cap = plan.edge_capacity
+        edge_raw = _pow(edge / edge_cap, plan.edge_queue_exponent, exact)
+        slow_edge = np.where(edge <= edge_cap, 1.0, edge_raw)
+
     # --- per-task latencies (scalar ref: ContentionModel.task_latency).
     latency = np.zeros((n, m), dtype=np.float64)
     for j in range(m):
@@ -137,13 +165,28 @@ def _solve_rows(plan: EvalPlan, exact: bool) -> SolveResult:
         )
         npu_part = coverage * work * slow_npu
         gpu_part = (1.0 - coverage) * work * slow_gpu
+        # Offloaded slots: transfer + server compute under sharing. For
+        # edge slots, task_iso_ms holds the *compute* part (see the plan
+        # builder); the transfer rides in task_edge_tx_ms. The tail term
+        # stays a scalar 0.0 when no edge block is present — identical
+        # bits to the pre-edge expression.
+        tail: Union[np.ndarray, float]
+        if slow_edge is not None:
+            assert plan.task_edge_tx_ms is not None
+            tail = np.where(
+                kind == KIND_EDGE,
+                plan.task_edge_tx_ms[:, j] + iso * slow_edge,
+                0.0,
+            )
+        else:
+            tail = 0.0
         latency[:, j] = np.where(
             kind == KIND_CPU,
             iso * slow_cpu,
             np.where(
                 kind == KIND_GPU,
                 iso * slow_gpu,
-                np.where(kind == KIND_NNAPI, comm + npu_part + gpu_part, 0.0),
+                np.where(kind == KIND_NNAPI, comm + npu_part + gpu_part, tail),
             ),
         )
 
@@ -195,4 +238,5 @@ def _solve_rows(plan: EvalPlan, exact: bool) -> SolveResult:
         epsilon=epsilon,
         quality=quality,
         phi=phi,
+        edge_slowdown=slow_edge,
     )

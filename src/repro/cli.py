@@ -31,6 +31,7 @@ from repro.core.controller import HBOConfig, HBOController
 from repro.device.profiles import GALAXY_S22, PIXEL7, device_names, model_names
 from repro.errors import ReproError
 from repro.experiments import (
+    edge as edge_exp,
     fig2,
     fig4,
     fig5,
@@ -67,6 +68,9 @@ _EXPERIMENTS = {
     "frontier": lambda seed, cfg: sweep.render_frontier_grid(
         sweep.run_frontier_grid(seed=seed)
     ),
+    "edge": lambda seed, cfg: edge_exp.render(
+        edge_exp.run_edge_experiment(seed=seed)
+    ),
 }
 
 
@@ -93,6 +97,8 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--seed", type=int, default=2024)
     tune.add_argument("--iterations", type=int, default=15)
     tune.add_argument("--initial", type=int, default=5)
+    tune.add_argument("--edge", action="store_true",
+                      help="enable edge offloading (EDGE as a 4th resource)")
     tune.add_argument("--export", metavar="PATH", default=None,
                       help="write the full run as JSON")
 
@@ -108,6 +114,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="random initialization points per session")
     fleet.add_argument("--cold", action="store_true",
                        help="disable cross-session warm starting")
+    fleet.add_argument("--edge", action="store_true",
+                       help="offload to one shared edge server all "
+                            "sessions contend on")
     fleet.add_argument("--export", metavar="PATH", default=None,
                        help="write the fleet trace as JSON")
     fleet.add_argument("--store", metavar="PATH", default=None,
@@ -152,11 +161,19 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     config = HBOConfig(
         w=args.weight, n_initial=args.initial, n_iterations=args.iterations
     )
+    edge_runtime = None
+    if args.edge:
+        from repro.edge.runtime import build_edge_runtime
+
+        edge_runtime = build_edge_runtime(
+            seed=derive_seed(args.seed, "edge-link"), session_id="tune"
+        )
     system = build_system(
         args.scenario,
         args.taskset,
         device=args.device,
         seed=derive_seed(args.seed, args.scenario, args.taskset),
+        edge=edge_runtime,
     )
     before = system.measure()
     controller = HBOController(system, config, seed=args.seed)
@@ -182,11 +199,17 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
     config = HBOConfig(n_initial=args.initial, n_iterations=args.iterations)
+    edge_config = None
+    if args.edge:
+        from repro.edge.runtime import EdgeConfig
+
+        edge_config = EdgeConfig()
     experiment = fleet_exp.run_fleet_experiment(
         seed=args.seed,
         config=config,
         n_sessions=args.sessions,
         warm_start=not args.cold,
+        edge=edge_config,
     )
     print(fleet_exp.render(experiment))
     if args.export:

@@ -150,7 +150,9 @@ class HBOIteration:
         triangle_ratio = 1.0 if self.latency_only else point.triangle_ratio
 
         counts = proportions_to_counts(point.proportions, len(self.system.taskset))
-        allocation = allocate_tasks(self.system.taskset, counts)  # Lines 2–22
+        allocation = allocate_tasks(
+            self.system.taskset, counts, self.system.resources
+        )  # Lines 2–22
         object_ratios = self.system.apply(allocation, triangle_ratio)  # Line 23
         return PendingEvaluation(
             z=z,
@@ -180,6 +182,7 @@ class HBOIteration:
                 self.system.device.soc,
                 self.system.device.placements(),
                 self.system.device.load,
+                edge=self.system.edge_share(),
             )
             phi = energy_aware_cost(
                 measurement.quality,

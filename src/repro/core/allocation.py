@@ -96,7 +96,9 @@ def proportions_to_counts_batch(
 
 
 def allocations_for_counts(
-    taskset: TaskSet, counts: np.ndarray
+    taskset: TaskSet,
+    counts: np.ndarray,
+    resources: Tuple[Resource, ...] = ALL_RESOURCES,
 ) -> List[Dict[str, Resource]]:
     """Per-row :func:`allocate_tasks`, memoized on the count vector.
 
@@ -106,9 +108,9 @@ def allocations_for_counts(
     rest is a dictionary lookup.
     """
     counts = np.asarray(counts)
-    if counts.ndim != 2 or counts.shape[1] != len(ALL_RESOURCES):
+    if counts.ndim != 2 or counts.shape[1] != len(resources):
         raise AllocationError(
-            f"counts must have shape (n_rows, {len(ALL_RESOURCES)}), "
+            f"counts must have shape (n_rows, {len(resources)}), "
             f"got {counts.shape}"
         )
     memo: Dict[Tuple[int, ...], Dict[str, Resource]] = {}
@@ -116,13 +118,14 @@ def allocations_for_counts(
     for row in counts:
         key = tuple(int(v) for v in row)
         if key not in memo:
-            memo[key] = allocate_tasks(taskset, list(key))
+            memo[key] = allocate_tasks(taskset, list(key), resources)
         out.append(memo[key])
     return out
 
 
 def build_priority_queue(
     taskset: TaskSet,
+    resources: Tuple[Resource, ...] = ALL_RESOURCES,
 ) -> List[Tuple[float, str, int, Resource]]:
     """The queue ``P``: one (isolation latency, task id, resource index,
     resource) entry per compatible pair, heap-ordered by latency (profiled
@@ -131,7 +134,7 @@ def build_priority_queue(
     S22) and ``Resource`` enums are not orderable."""
     entries: List[Tuple[float, str, int, Resource]] = []
     for task in taskset:
-        for index, resource in enumerate(ALL_RESOURCES):
+        for index, resource in enumerate(resources):
             if task.profile.supports(resource):
                 entries.append(
                     (task.profile.latency(resource), task.task_id, index, resource)
@@ -141,17 +144,21 @@ def build_priority_queue(
 
 
 def allocate_tasks(
-    taskset: TaskSet, counts: Sequence[int]
+    taskset: TaskSet,
+    counts: Sequence[int],
+    resources: Tuple[Resource, ...] = ALL_RESOURCES,
 ) -> Dict[str, Resource]:
     """Lines 13–22 (+ compatibility fallback): counts → per-task resources.
 
-    ``counts[i]`` is the number of tasks resource ``ALL_RESOURCES[i]``
-    should receive; the counts must sum to ``len(taskset)``.
+    ``counts[i]`` is the number of tasks resource ``resources[i]``
+    should receive; the counts must sum to ``len(taskset)``. The default
+    resource set is the on-device trio; edge-enabled systems pass
+    :data:`~repro.device.resources.EDGE_RESOURCES` (N=4).
     """
     counts = list(counts)
-    if len(counts) != len(ALL_RESOURCES):
+    if len(counts) != len(resources):
         raise AllocationError(
-            f"expected {len(ALL_RESOURCES)} counts, got {len(counts)}"
+            f"expected {len(resources)} counts, got {len(counts)}"
         )
     if any(k < 0 for k in counts):
         raise AllocationError(f"counts must be >= 0, got {counts}")
@@ -160,8 +167,8 @@ def allocate_tasks(
             f"counts sum to {sum(counts)} but taskset has {len(taskset)} tasks"
         )
 
-    remaining = {res: counts[i] for i, res in enumerate(ALL_RESOURCES)}
-    queue = build_priority_queue(taskset)
+    remaining = {res: counts[i] for i, res in enumerate(resources)}
+    queue = build_priority_queue(taskset, resources)
     assigned: Dict[str, Resource] = {}
     closed_resources: set = set()
 
@@ -181,7 +188,7 @@ def allocate_tasks(
             continue
         options = [
             (0 if remaining[res] > 0 else 1, task.profile.latency(res), res)
-            for res in ALL_RESOURCES
+            for res in resources
             if task.profile.supports(res)
         ]
         if not options:
@@ -196,9 +203,12 @@ def allocate_tasks(
     return assigned
 
 
-def allocation_counts(allocation: Dict[str, Resource]) -> Dict[Resource, int]:
+def allocation_counts(
+    allocation: Dict[str, Resource],
+    resources: Tuple[Resource, ...] = ALL_RESOURCES,
+) -> Dict[Resource, int]:
     """How many tasks each resource received (reporting helper)."""
-    counts = {res: 0 for res in ALL_RESOURCES}
+    counts = {res: 0 for res in resources}
     for resource in allocation.values():
-        counts[resource] += 1
+        counts[resource] = counts.get(resource, 0) + 1
     return counts

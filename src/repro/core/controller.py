@@ -179,10 +179,9 @@ class HBOController:
         allocation = self.system.device.allocation
         m = max(1, len(allocation))
         counts = np.zeros(self.system.n_resources)
-        from repro.device.resources import ALL_RESOURCES
-
+        resources = self.system.resources
         for resource in allocation.values():
-            counts[ALL_RESOURCES.index(resource)] += 1
+            counts[resources.index(resource)] += 1
         proportions = counts / m
         ratio = float(
             np.clip(self.system.scene.triangle_ratio, cfg.r_min, 1.0)
@@ -198,6 +197,7 @@ class HBOController:
                 self.system.device.soc,
                 self.system.device.placements(),
                 self.system.device.load,
+                edge=self.system.edge_share(),
             )
             phi = energy_aware_cost(
                 measurement.quality,

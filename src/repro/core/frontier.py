@@ -35,7 +35,8 @@ from repro.backend.solve import SolveResult, solve
 from repro.ar.distribution import distribute_triangles_batch
 from repro.core.allocation import allocations_for_counts, proportions_to_counts_batch
 from repro.core.system import MARSystem
-from repro.device.resources import ALL_RESOURCES, Resource
+from repro.device.resources import Resource
+from repro.edge.share import edge_compute_ms, edge_demand, edge_tx_ms
 from repro.errors import ConfigurationError
 
 
@@ -93,18 +94,43 @@ class FrontierEvaluator:
         self._taskset = taskset
         self._task_ids: Tuple[str, ...] = taskset.task_ids
         n_tasks = len(taskset)
-        n_res = len(ALL_RESOURCES)
+        #: The resource tuple this frontier scores over (4 columns with
+        #: edge) and the edge pricing snapshot taken at construction —
+        #: frontier scores are steady-state, so a fixed share is the
+        #: model's view, matching what a measurement under the same share
+        #: would return.
+        self._resources: Tuple[Resource, ...] = system.resources
+        self._edge_share = system.edge_share()
+        n_res = len(self._resources)
         # Isolation-latency lookup: (task, resource-index) → ms; NaN marks
-        # incompatible pairs, which the allocator never selects.
+        # incompatible pairs, which the allocator never selects. The EDGE
+        # column holds the *server-compute* part only — transfer rides in
+        # the plan's task_edge_tx_ms, mirroring the scalar decomposition.
         self._lat_table = np.full((n_tasks, n_res), np.nan, dtype=np.float64)
         for j, task in enumerate(taskset):
-            for r, res in enumerate(ALL_RESOURCES):
-                if task.profile.supports(res):
+            for r, res in enumerate(self._resources):
+                if not task.profile.supports(res):
+                    continue
+                if res is Resource.EDGE:
+                    assert self._edge_share is not None
+                    self._lat_table[j, r] = edge_compute_ms(
+                        task.profile, self._edge_share
+                    )
+                else:
                     self._lat_table[j, r] = task.profile.latency(res)
         self._kind_of_res = np.array(
-            [resource_kind(res) for res in ALL_RESOURCES], dtype=np.int64
+            [resource_kind(res) for res in self._resources], dtype=np.int64
         )
-        self._res_index = {res: r for r, res in enumerate(ALL_RESOURCES)}
+        self._res_index = {res: r for r, res in enumerate(self._resources)}
+        if self._edge_share is not None:
+            share = self._edge_share
+            self._edge_tx = np.array(
+                [edge_tx_ms(t.profile, share) for t in taskset],
+                dtype=np.float64,
+            )
+            self._edge_dem = np.array(
+                [edge_demand(t.profile) for t in taskset], dtype=np.float64
+            )
         self._cpu_demand = np.array(
             [t.profile.cpu_demand for t in taskset], dtype=np.float64
         )
@@ -168,7 +194,9 @@ class FrontierEvaluator:
             ratios = zs[:, n_res].copy()
 
         counts = proportions_to_counts_batch(proportions, len(self._taskset))
-        allocations = allocations_for_counts(self._taskset, counts)
+        allocations = allocations_for_counts(
+            self._taskset, counts, self._resources
+        )
         kind, iso = self._task_rows(counts, allocations)
 
         ids, obj_ratios = distribute_triangles_batch(
@@ -198,6 +226,17 @@ class FrontierEvaluator:
                 "obj_denom": np.broadcast_to(self._obj_denom, shape),
             }
 
+        edge_block: Dict[str, np.ndarray] = {}
+        if self._edge_share is not None:
+            share = self._edge_share
+            edge_block = {
+                "task_edge_tx_ms": np.broadcast_to(self._edge_tx, iso.shape),
+                "task_edge_demand": np.broadcast_to(self._edge_dem, iso.shape),
+                "edge_capacity": np.full(n, share.capacity_streams),
+                "edge_queue_exponent": np.full(n, share.queue_exponent),
+                "edge_extern_streams": np.full(n, share.extern_streams),
+            }
+
         plan = EvalPlan.for_single_soc(
             self.system.device.soc,
             task_iso_ms=iso,
@@ -214,6 +253,7 @@ class FrontierEvaluator:
             task_expected_ms=np.broadcast_to(self._expected, iso.shape),
             w=self.w,
             **quality_block,
+            **edge_block,  # type: ignore[arg-type]
         )
         result: SolveResult = solve(plan)
         assert result.epsilon is not None and result.phi is not None

@@ -23,32 +23,11 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.bo.optimizer import BayesianOptimizer, Observation, OptimizerState, SpaceLike
-from repro.errors import ConfigurationError
+from repro.edge.link import NetworkLink
 from repro.obs import runtime as obs
 from repro.rng import SeedLike, make_rng
 
-
-@dataclass(frozen=True)
-class NetworkLink:
-    """A Wi-Fi/5G hop to the edge server."""
-
-    rtt_ms: float = 8.0
-    jitter_ms: float = 2.0
-    bytes_per_ms: float = 5_000.0  # ~40 Mbit/s effective
-
-    def __post_init__(self) -> None:
-        if self.rtt_ms < 0 or self.jitter_ms < 0 or self.bytes_per_ms <= 0:
-            raise ConfigurationError(
-                f"invalid link parameters: rtt={self.rtt_ms}, "
-                f"jitter={self.jitter_ms}, rate={self.bytes_per_ms}"
-            )
-
-    def transfer_ms(self, payload_bytes: int, rng: np.random.Generator) -> float:
-        """One request/response exchange carrying ``payload_bytes``."""
-        if payload_bytes < 0:
-            raise ConfigurationError(f"payload must be >= 0, got {payload_bytes}")
-        jitter = float(rng.normal(0.0, self.jitter_ms)) if self.jitter_ms else 0.0
-        return max(0.0, self.rtt_ms + jitter) + payload_bytes / self.bytes_per_ms
+__all__ = ["NetworkLink", "OffloadStats", "RemoteOptimizerProxy"]
 
 
 @dataclass

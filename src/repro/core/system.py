@@ -19,7 +19,7 @@ Eq. 4 normalized latency ε, Eq. 2 quality Q).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.ar.distribution import distribute_triangles
 from repro.ar.objects import VirtualObject
@@ -27,7 +27,8 @@ from repro.ar.renderer import RenderLoadModel
 from repro.ar.scene import Scene
 from repro.core.cost import normalized_average_latency, reward
 from repro.device.executor import DeviceSimulator
-from repro.device.resources import Resource
+from repro.device.resources import ALL_RESOURCES, EDGE_RESOURCES, Resource
+from repro.edge.share import EdgeShare
 from repro.errors import ConfigurationError
 from repro.models.tasks import TaskSet
 
@@ -85,8 +86,22 @@ class MARSystem:
     # ------------------------------------------------------------- plumbing
 
     @property
+    def resources(self) -> Tuple[Resource, ...]:
+        """The allocation choices this system schedules over: the
+        paper's on-device trio, plus ``EDGE`` when the device carries an
+        edge runtime (N becomes 4)."""
+        if self.device.edge is not None:
+            return EDGE_RESOURCES
+        return ALL_RESOURCES
+
+    @property
     def n_resources(self) -> int:
-        return 3  # CPU, GPU delegate, NNAPI — the paper's N
+        return len(self.resources)  # the paper's N (3, or 4 with edge)
+
+    def edge_share(self) -> Optional[EdgeShare]:
+        """The device's current edge pricing snapshot (``None`` when the
+        edge subsystem is off)."""
+        return self.device.edge_share()
 
     def objects_map(self) -> Dict[str, VirtualObject]:
         return {p.instance_id: p.obj for p in self.scene}

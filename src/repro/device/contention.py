@@ -36,14 +36,21 @@ inflated by the slowdown of the processor that executes it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping
+from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro.backend.plan import EvalPlan
 from repro.backend.solve import solve
 from repro.device.profiles import StaticProfile
 from repro.device.resources import Processor, Resource
 from repro.device.soc import SoCSpec
-from repro.errors import DeviceError, IncompatibleDelegateError
+from repro.edge.share import (
+    EdgeShare,
+    edge_compute_ms,
+    edge_demand,
+    edge_slowdown,
+    edge_tx_ms,
+)
+from repro.errors import DeviceError, EdgeError, IncompatibleDelegateError
 from repro.units import Ms
 
 
@@ -107,11 +114,17 @@ class ProcessorState:
     because it acts through the priority channel. ``slowdown`` is the
     final multiplier AI work experiences on each processor (for the GPU:
     AI-sharing factor × render penalty).
+
+    ``edge_streams``/``edge_slowdown`` describe the shared edge server
+    when an :class:`~repro.edge.share.EdgeShare` was in play; they stay
+    at their neutral defaults for device-only systems.
     """
 
     streams: Mapping[Processor, float]
     render_gpu_streams: float
     slowdown: Mapping[Processor, float]
+    edge_streams: float = 0.0
+    edge_slowdown: float = 1.0
 
 
 class ContentionModel:
@@ -143,15 +156,37 @@ class ContentionModel:
                 streams[Processor.CPU] += profile.cpu_demand
             elif placement.resource is Resource.GPU_DELEGATE:
                 streams[Processor.GPU] += profile.gpu_demand
-            else:  # NNAPI: split between NPU and GPU
+            elif placement.resource is Resource.NNAPI:
+                # NNAPI: split between NPU and GPU.
                 streams[Processor.NPU] += profile.npu_coverage
                 streams[Processor.GPU] += (
                     (1.0 - profile.npu_coverage) * profile.gpu_demand
                 )
+            elif placement.resource is Resource.EDGE:
+                pass  # off-device: no SoC streams (edge streams are separate)
+            else:
+                raise DeviceError(
+                    f"unhandled resource {placement.resource} for "
+                    f"{placement.task_id!r}"
+                )
+        return streams
+
+    def edge_streams(
+        self, placements: Iterable[TaskPlacement], edge: EdgeShare
+    ) -> float:
+        """Total streams on the shared edge server: other tenants' demand
+        plus this placement set's offloaded tasks, in placement order."""
+        streams = edge.extern_streams
+        for placement in placements:
+            if placement.resource is Resource.EDGE:
+                streams += edge_demand(placement.profile)
         return streams
 
     def processor_state(
-        self, placements: Iterable[TaskPlacement], load: SystemLoad
+        self,
+        placements: Iterable[TaskPlacement],
+        load: SystemLoad,
+        edge: Optional[EdgeShare] = None,
     ) -> ProcessorState:
         """Streams and final AI slowdowns per processor."""
         placements = list(placements)
@@ -167,8 +202,17 @@ class ContentionModel:
                 * self.soc.render_penalty(render_gpu)
             ),
         }
+        if edge is None:
+            return ProcessorState(
+                streams=streams, render_gpu_streams=render_gpu, slowdown=slowdown
+            )
+        on_edge = self.edge_streams(placements, edge)
         return ProcessorState(
-            streams=streams, render_gpu_streams=render_gpu, slowdown=slowdown
+            streams=streams,
+            render_gpu_streams=render_gpu,
+            slowdown=slowdown,
+            edge_streams=on_edge,
+            edge_slowdown=edge_slowdown(on_edge, edge),
         )
 
     # ------------------------------------------------------------- latencies
@@ -177,9 +221,24 @@ class ContentionModel:
         """Coordination-cost inflation under GPU congestion."""
         return 1.0 + self.soc.nnapi_comm_gpu_factor * max(0.0, gpu_slowdown - 1.0)
 
-    def task_latency(self, placement: TaskPlacement, state: ProcessorState) -> Ms:
+    def task_latency(
+        self,
+        placement: TaskPlacement,
+        state: ProcessorState,
+        edge: Optional[EdgeShare] = None,
+    ) -> Ms:
         """Steady-state latency (ms) of one placed task given system state."""
         profile = placement.profile
+        if placement.resource is Resource.EDGE:
+            # Offloaded: link transfer + server compute under sharing.
+            if edge is None:
+                raise EdgeError(
+                    f"{placement.task_id!r} is placed on EDGE but no "
+                    "EdgeShare was provided"
+                )
+            return edge_tx_ms(profile, edge) + (
+                edge_compute_ms(profile, edge) * state.edge_slowdown
+            )
         iso = profile.latency(placement.resource)
         if placement.resource is Resource.CPU:
             return iso * state.slowdown[Processor.CPU]
@@ -194,7 +253,10 @@ class ContentionModel:
         return comm + npu_part + gpu_part
 
     def latencies(
-        self, placements: Iterable[TaskPlacement], load: SystemLoad
+        self,
+        placements: Iterable[TaskPlacement],
+        load: SystemLoad,
+        edge: Optional[EdgeShare] = None,
     ) -> Dict[str, Ms]:
         """Latency (ms) for every placed task under mutual contention.
 
@@ -211,6 +273,6 @@ class ContentionModel:
             raise DeviceError(f"duplicate task ids in placement set: {dupes}")
         if not placements:
             return {}
-        plan = EvalPlan.from_placement_rows([(self.soc, placements, load)])
+        plan = EvalPlan.from_placement_rows([(self.soc, placements, load, edge)])
         result = solve(plan, exact=True)
         return plan.latency_map(result.latency_ms, 0)

@@ -23,6 +23,8 @@ from repro.device.profiles import StaticProfile
 from repro.device.resources import Processor, Resource
 from repro.device.soc import SoCSpec
 from repro.device.thermal import ThermalModel
+from repro.edge.runtime import EdgeRuntime
+from repro.edge.share import EdgeShare, edge_demand
 from repro.errors import DeviceError, IncompatibleDelegateError
 from repro.obs import runtime as obs
 from repro.rng import SeedLike, make_rng
@@ -51,6 +53,10 @@ class DeviceSimulator:
         Optional thermal-throttling model.
     seed:
         Seed/generator for the noise stream.
+    edge:
+        Optional :class:`~repro.edge.runtime.EdgeRuntime` enabling the
+        ``EDGE`` allocation choice: tasks placed on it are priced over
+        the wireless link and the shared edge server instead of the SoC.
     """
 
     def __init__(
@@ -59,6 +65,7 @@ class DeviceSimulator:
         noise_sigma: float = 0.04,
         thermal: Optional[ThermalModel] = None,
         seed: SeedLike = None,
+        edge: Optional[EdgeRuntime] = None,
     ) -> None:
         if noise_sigma < 0:
             raise DeviceError(f"noise_sigma must be >= 0, got {noise_sigma}")
@@ -66,6 +73,7 @@ class DeviceSimulator:
         self.contention = ContentionModel(soc)
         self.noise_sigma = float(noise_sigma)
         self.thermal = thermal
+        self.edge = edge
         self._rng = make_rng(seed)
         self._tasks: Dict[str, StaticProfile] = {}
         self._allocation: Dict[str, Resource] = {}
@@ -97,12 +105,14 @@ class DeviceSimulator:
             raise IncompatibleDelegateError(profile.model, str(resource))
         self._tasks[task_id] = profile
         self._allocation[task_id] = resource
+        self._sync_edge_demand()
 
     def remove_task(self, task_id: str) -> None:
         if task_id not in self._tasks:
             raise DeviceError(f"unknown task id {task_id!r}")
         del self._tasks[task_id]
         del self._allocation[task_id]
+        self._sync_edge_demand()
 
     def profile_of(self, task_id: str) -> StaticProfile:
         if task_id not in self._tasks:
@@ -128,11 +138,16 @@ class DeviceSimulator:
         profile = self._tasks[task_id]
         if not profile.supports(resource):
             raise IncompatibleDelegateError(profile.model, str(resource))
+        if resource is Resource.EDGE and self.edge is None:
+            raise DeviceError(
+                f"cannot place {task_id!r} on EDGE: no edge runtime attached"
+            )
         if resource in self._failed_resources:
             fallback = self._best_available(profile)
             self.failure_log.append((task_id, resource, fallback))
             resource = fallback
         self._allocation[task_id] = resource
+        self._sync_edge_demand()
 
     def apply_allocation(self, allocation: Mapping[str, Resource]) -> None:
         """Apply a full allocation map; unknown/missing ids are an error."""
@@ -161,7 +176,9 @@ class DeviceSimulator:
         options = [
             (profile.latency(res), i, res)
             for i, res in enumerate(Resource)
-            if profile.supports(res) and res not in self._failed_resources
+            if profile.supports(res)
+            and res not in self._failed_resources
+            and (res is not Resource.EDGE or self.edge is not None)
         ]
         if not options:
             raise DeviceError(
@@ -182,6 +199,7 @@ class DeviceSimulator:
                 fallback = self._best_available(self._tasks[task_id])
                 self.failure_log.append((task_id, resource, fallback))
                 self._allocation[task_id] = fallback
+        self._sync_edge_demand()
 
     def restore_resource(self, resource: Resource) -> None:
         """Clear an injected failure (tasks stay where they fell back to)."""
@@ -195,9 +213,29 @@ class DeviceSimulator:
             for tid, res in self._allocation.items()
         ]
 
+    def edge_share(self) -> Optional[EdgeShare]:
+        """The current edge pricing snapshot, or ``None`` when the edge
+        subsystem is off for this device."""
+        if self.edge is None:
+            return None
+        return self.edge.share()
+
+    def _sync_edge_demand(self) -> None:
+        """Publish this device's offloaded stream demand to the shared
+        edge server (no-op without an edge runtime)."""
+        if self.edge is None:
+            return
+        streams = 0.0
+        for tid, res in self._allocation.items():
+            if res is Resource.EDGE:
+                streams += edge_demand(self._tasks[tid])
+        self.edge.set_demand_streams(streams)
+
     def steady_state_latencies(self) -> Dict[str, float]:
         """Noise-free latencies under the current placement and load."""
-        latencies = self.contention.latencies(self.placements(), self._load)
+        latencies = self.contention.latencies(
+            self.placements(), self._load, self.edge_share()
+        )
         if self.thermal is not None:
             factor = self.thermal.throttle_factor()
             latencies = {tid: lat * factor for tid, lat in latencies.items()}
@@ -287,6 +325,17 @@ class DeviceSimulator:
         latency_hist = obs.histogram("device_task_latency_ms")
         for mean_ms in means.values():
             latency_hist.observe(mean_ms)
+        if self.edge is not None:
+            # Record offload metrics against the period's pre-advance link
+            # state, then advance the drift trace: every evaluation inside
+            # a period — scalar or batched — saw the same snapshot.
+            offloaded = [
+                self._tasks[tid]
+                for tid, res in self._allocation.items()
+                if res is Resource.EDGE
+            ]
+            self.edge.record_period(offloaded)
+            self.edge.advance_period()
         return means
 
     def isolation_latency(self, task_id: str, resource: Resource) -> float:

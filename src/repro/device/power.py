@@ -17,11 +17,17 @@ configurations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping
+from typing import Dict, Iterable, Mapping, Optional, Sequence
 
 from repro.device.contention import ContentionModel, SystemLoad, TaskPlacement
-from repro.device.resources import Processor
+from repro.device.resources import Processor, Resource
 from repro.device.soc import SoCSpec
+from repro.edge.share import (
+    EdgeShare,
+    edge_compute_ms,
+    edge_payload_bytes,
+    edge_tx_ms,
+)
 from repro.errors import ConfigurationError
 
 
@@ -48,6 +54,57 @@ class ProcessorPower:
 
 
 @dataclass(frozen=True)
+class RadioPower:
+    """Wireless-radio draw while offloading to the edge.
+
+    LEAF/AIO-style framing: the radio dwells in a high-power active
+    state (uplink ``tx_w``, downlink ``rx_w`` — typical Wi-Fi figures)
+    only while a transfer is in flight, and falls back to a negligible
+    connected-idle floor between frames. A continuously-inferring task
+    keeps the radio active for the transfer slice of each inference
+    cycle, so its duty cycle is ``tx_ms / total_latency_ms``.
+    """
+
+    tx_w: float = 1.1
+    rx_w: float = 0.75
+    idle_w: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.tx_w < 0 or self.rx_w < 0 or self.idle_w < 0:
+            raise ConfigurationError(
+                f"radio powers must be >= 0, got tx={self.tx_w} "
+                f"rx={self.rx_w} idle={self.idle_w}"
+            )
+
+    def radio_power_w(
+        self,
+        placements: Sequence[TaskPlacement],
+        edge: EdgeShare,
+        edge_slowdown: float,
+    ) -> float:
+        """Average radio draw (W) for the EDGE-allocated placements.
+
+        Each offloaded task contributes its transfer duty cycle at a
+        tx/rx mix weighted by the up/down payload split; tasks running
+        on-device contribute nothing beyond the idle floor.
+        """
+        total = self.idle_w
+        for placement in placements:
+            if placement.resource is not Resource.EDGE:
+                continue
+            profile = placement.profile
+            tx_ms = edge_tx_ms(profile, edge)
+            cycle_ms = tx_ms + edge_compute_ms(profile, edge) * edge_slowdown
+            if cycle_ms <= 0:
+                continue
+            duty = min(1.0, tx_ms / cycle_ms)
+            up_fraction = profile.input_bytes / edge_payload_bytes(profile)
+            active_w = up_fraction * self.tx_w + (1.0 - up_fraction) * self.rx_w
+            total += duty * active_w
+        return total
+
+
+@dataclass(frozen=True)
 class PowerModel:
     """System power as a function of processor utilizations."""
 
@@ -60,6 +117,9 @@ class PowerModel:
     )
     #: Display + camera + sensor floor of a live AR session.
     base_w: float = 1.2
+    #: Radio accounting for edge offloading; only drawn upon when
+    #: ``system_power_w`` is handed an edge share.
+    radio: RadioPower = field(default_factory=RadioPower)
 
     def __post_init__(self) -> None:
         for proc in Processor:
@@ -94,12 +154,22 @@ class PowerModel:
         soc: SoCSpec,
         placements: Iterable[TaskPlacement],
         load: SystemLoad,
+        edge: Optional[EdgeShare] = None,
     ) -> float:
-        """Average system draw (W) under a placement set and render load."""
+        """Average system draw (W) under a placement set and render load.
+
+        With an edge share the radio's transfer duty cycle is added on
+        top of the processor draws; ``None`` (the default) reproduces
+        the pre-edge figure exactly.
+        """
+        placements = tuple(placements)
         utilization = self.utilizations(soc, placements, load)
         total = self.base_w
         for proc, u in utilization.items():
             total += self.processors[proc].at_utilization(u)
+        if edge is not None:
+            state = ContentionModel(soc).processor_state(placements, load, edge)
+            total += self.radio.radio_power_w(placements, edge, state.edge_slowdown)
         return total
 
     def period_energy_j(
@@ -108,11 +178,12 @@ class PowerModel:
         placements: Iterable[TaskPlacement],
         load: SystemLoad,
         period_s: float,
+        edge: Optional[EdgeShare] = None,
     ) -> float:
         """Energy (J) consumed over one control period."""
         if period_s <= 0:
             raise ConfigurationError(f"period_s must be > 0, got {period_s}")
-        return self.system_power_w(soc, placements, load) * period_s
+        return self.system_power_w(soc, placements, load, edge=edge) * period_s
 
 
 def energy_aware_cost(

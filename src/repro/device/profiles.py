@@ -51,6 +51,11 @@ class StaticProfile:
     model places on the processor. Heavyweight multithreaded segmentation
     models saturate the whole big-core cluster (> 1), tiny classifiers use
     a fraction of it (< 1).
+
+    ``input_bytes`` / ``output_bytes`` size the wire payload when the
+    inference is offloaded to an edge server (:mod:`repro.edge`): a
+    compressed camera frame up, the inference result down. They do not
+    affect any on-device path.
     """
 
     model: str
@@ -59,6 +64,8 @@ class StaticProfile:
     npu_coverage: float
     cpu_demand: float = 1.0
     gpu_demand: float = 1.0
+    input_bytes: int = 18_000
+    output_bytes: int = 4_004
 
     def __post_init__(self) -> None:
         if self.task_type not in TASK_TYPES:
@@ -71,6 +78,11 @@ class StaticProfile:
                 f"got {self.npu_coverage}"
             )
         for name in ("cpu_demand", "gpu_demand"):
+            if getattr(self, name) <= 0:
+                raise UnknownModelError(
+                    f"{self.model!r}: {name} must be > 0, got {getattr(self, name)}"
+                )
+        for name in ("input_bytes", "output_bytes"):
             if getattr(self, name) <= 0:
                 raise UnknownModelError(
                     f"{self.model!r}: {name} must be > 0, got {getattr(self, name)}"
@@ -88,12 +100,37 @@ class StaticProfile:
         return float(value)
 
     def best_resource(self) -> Tuple[Resource, float]:
-        """The resource with the lowest isolation latency (the 'affinity')."""
+        """The *on-device* resource with the lowest isolation latency.
+
+        This defines both the affinity and τ^e of Eq. 4. ``EDGE`` entries
+        (added by :func:`repro.edge.runtime.extend_profile`) are excluded:
+        Table I has no edge column, and keeping τ^e device-defined makes ε
+        comparable between device-only and edge-enabled runs.
+        """
         options = [
-            (res, lat) for res, lat in self.latency_ms.items() if lat is not None
+            (res, lat)
+            for res, lat in self.latency_ms.items()
+            if lat is not None and res is not Resource.EDGE
         ]
         res, lat = min(options, key=lambda pair: pair[1])
         return res, float(lat)
+
+
+#: Offload payload sizes per model: (input_bytes, output_bytes). Inputs are
+#: JPEG-compressed camera frames at the model's input resolution; outputs
+#: are the raw result tensors (masks for segmentation, boxes/logits
+#: otherwise). Used only by the edge subsystem.
+_MODEL_IO_BYTES: Dict[str, Tuple[int, int]] = {
+    "deconv-munet": (22_000, 50_176),
+    "deeplabv3": (24_000, 66_049),
+    "efficientdet-lite": (30_000, 4_800),
+    "mobilenetDetv1": (27_000, 4_000),
+    "efficientclass-lite0": (18_000, 4_004),
+    "inception-v1-q": (18_000, 4_004),
+    "mobilenet-v1": (18_000, 4_004),
+    "model-metadata": (16_000, 1_008),
+    "mnist": (3_136, 40),
+}
 
 
 def _profile(
@@ -106,6 +143,7 @@ def _profile(
     cpu_demand: float = 1.0,
     gpu_demand: float = 1.0,
 ) -> StaticProfile:
+    input_bytes, output_bytes = _MODEL_IO_BYTES[model]
     return StaticProfile(
         model=model,
         task_type=task_type,
@@ -117,6 +155,8 @@ def _profile(
         npu_coverage=npu_coverage,
         cpu_demand=cpu_demand,
         gpu_demand=gpu_demand,
+        input_bytes=input_bytes,
+        output_bytes=output_bytes,
     )
 
 

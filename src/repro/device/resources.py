@@ -18,16 +18,23 @@ from repro.errors import DeviceError
 
 
 class Resource(enum.Enum):
-    """An allocation choice exposed to the scheduler (the paper's N=3)."""
+    """An allocation choice exposed to the scheduler.
+
+    The paper's N=3 on-device choices, plus ``EDGE`` — offloading the
+    whole inference to an edge server over the wireless link (the
+    :mod:`repro.edge` subsystem, off unless a system is built with an
+    edge runtime).
+    """
 
     CPU = "cpu"
     GPU_DELEGATE = "gpu"
     NNAPI = "nnapi"
+    EDGE = "edge"
 
     @property
     def short(self) -> str:
         """One-letter code used in the paper's Fig. 2 annotations."""
-        return {"cpu": "C", "gpu": "G", "nnapi": "N"}[self.value]
+        return {"cpu": "C", "gpu": "G", "nnapi": "N", "edge": "E"}[self.value]
 
     def __str__(self) -> str:
         return self.value
@@ -53,6 +60,10 @@ ALL_RESOURCES: Tuple[Resource, ...] = (
     Resource.NNAPI,
 )
 
+#: Resource ordering for edge-enabled systems: the on-device trio plus
+#: ``EDGE`` as the fourth allocation choice (N=4).
+EDGE_RESOURCES: Tuple[Resource, ...] = ALL_RESOURCES + (Resource.EDGE,)
+
 _NAME_ALIASES = {
     "cpu": Resource.CPU,
     "c": Resource.CPU,
@@ -61,6 +72,8 @@ _NAME_ALIASES = {
     "g": Resource.GPU_DELEGATE,
     "nnapi": Resource.NNAPI,
     "n": Resource.NNAPI,
+    "edge": Resource.EDGE,
+    "e": Resource.EDGE,
 }
 
 
@@ -74,6 +87,8 @@ def resource_from_name(name: str) -> Resource:
     return _NAME_ALIASES[key]
 
 
-def resource_index(resource: Resource) -> int:
-    """Position of ``resource`` in :data:`ALL_RESOURCES`."""
-    return ALL_RESOURCES.index(resource)
+def resource_index(
+    resource: Resource, resources: Tuple[Resource, ...] = ALL_RESOURCES
+) -> int:
+    """Position of ``resource`` in ``resources`` (default on-device trio)."""
+    return resources.index(resource)

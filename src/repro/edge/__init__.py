@@ -1,0 +1,61 @@
+"""Edge-inference offloading subsystem.
+
+Adds ``EDGE`` as a fourth allocation resource: an AI task can ship its
+input frame over a wireless link to a shared edge server instead of
+running on-device. The subsystem is off by default — a system built
+without an :class:`EdgeConfig` behaves bit-identically to one built
+before this package existed.
+
+Modules:
+
+- :mod:`repro.edge.link` — wireless link models: the request/response
+  :class:`NetworkLink` (hoisted from ``core/remote.py``) and the
+  bandwidth-drift :class:`WirelessLink` used for task offload.
+- :mod:`repro.edge.share` — :class:`EdgeShare`, the frozen pricing
+  snapshot consumed by both the scalar contention model and the
+  vectorized backend, plus the shared latency helpers that keep the two
+  paths bit-identical.
+- :mod:`repro.edge.server` — :class:`EdgeServer`, the multi-tenant
+  processor-sharing queue fleet sessions contend on.
+- :mod:`repro.edge.runtime` — :class:`EdgeRuntime`, the per-session
+  handle (server tenancy + link trace + taskset extension).
+"""
+
+from repro.edge.link import LinkConfig, NetworkLink, WirelessLink
+from repro.edge.runtime import (
+    EdgeConfig,
+    EdgeRuntime,
+    build_edge_runtime,
+    extend_profile,
+    extend_taskset,
+    nominal_share,
+)
+from repro.edge.server import EdgeServer, EdgeServerConfig
+from repro.edge.share import (
+    EdgeShare,
+    edge_compute_ms,
+    edge_demand,
+    edge_payload_bytes,
+    edge_slowdown,
+    edge_tx_ms,
+)
+
+__all__ = [
+    "EdgeConfig",
+    "EdgeRuntime",
+    "EdgeServer",
+    "EdgeServerConfig",
+    "EdgeShare",
+    "LinkConfig",
+    "NetworkLink",
+    "WirelessLink",
+    "build_edge_runtime",
+    "edge_compute_ms",
+    "edge_demand",
+    "edge_payload_bytes",
+    "edge_slowdown",
+    "edge_tx_ms",
+    "extend_profile",
+    "extend_taskset",
+    "nominal_share",
+]

@@ -1,0 +1,120 @@
+"""Multi-tenant edge inference server with processor-sharing queueing.
+
+One :class:`EdgeServer` is shared by every session that offloads to it —
+in a fleet run the scheduler creates a single instance and hands it to
+all sessions, so their offloaded streams contend on the shared SimClock
+timeline. Tenants register once, then publish their current stream
+demand; any tenant's *external* streams (everyone else's demand) feed
+its :class:`~repro.edge.share.EdgeShare` pricing snapshot.
+
+Determinism: demands are kept in registration (insertion) order and all
+sums run in that order, so totals are bit-stable across runs with the
+same admission sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import EdgeError
+
+
+@dataclass(frozen=True)
+class EdgeServerConfig:
+    """Capacity model of the shared edge inference server."""
+
+    #: Concurrent inference streams served without queueing.
+    capacity_streams: float = 6.0
+    #: Power-law exponent of the over-capacity slowdown.
+    queue_exponent: float = 1.15
+    #: Compute speed relative to a device CPU (server-class silicon).
+    speedup: float = 6.0
+    name: str = "edge-server"
+
+    def __post_init__(self) -> None:
+        if self.capacity_streams <= 0:
+            raise EdgeError(
+                f"capacity_streams must be > 0, got {self.capacity_streams}"
+            )
+        if self.queue_exponent < 1.0:
+            raise EdgeError(
+                f"queue_exponent must be >= 1, got {self.queue_exponent}"
+            )
+        if self.speedup <= 0:
+            raise EdgeError(f"speedup must be > 0, got {self.speedup}")
+
+
+class EdgeServer:
+    """Shared processor-sharing queue over registered tenants."""
+
+    def __init__(self, config: EdgeServerConfig | None = None) -> None:
+        self.config = config if config is not None else EdgeServerConfig()
+        self._demand_streams: Dict[str, float] = {}
+
+    @property
+    def tenant_ids(self) -> Tuple[str, ...]:
+        """Registered tenants in registration order."""
+        return tuple(self._demand_streams)
+
+    def register(self, tenant_id: str) -> None:
+        """Join the server with zero demand."""
+        if tenant_id in self._demand_streams:
+            raise EdgeError(f"tenant {tenant_id!r} is already registered")
+        self._demand_streams[tenant_id] = 0.0
+
+    def release(self, tenant_id: str) -> None:
+        """Leave the server, dropping any published demand."""
+        if tenant_id not in self._demand_streams:
+            raise EdgeError(f"unknown tenant {tenant_id!r}")
+        del self._demand_streams[tenant_id]
+
+    def set_demand(self, tenant_id: str, streams: float) -> None:
+        """Publish the tenant's current offloaded stream demand."""
+        if tenant_id not in self._demand_streams:
+            raise EdgeError(f"unknown tenant {tenant_id!r}")
+        if streams < 0:
+            raise EdgeError(
+                f"demand must be >= 0 streams, got {streams} "
+                f"from tenant {tenant_id!r}"
+            )
+        self._demand_streams[tenant_id] = float(streams)
+
+    def demand_of(self, tenant_id: str) -> float:
+        if tenant_id not in self._demand_streams:
+            raise EdgeError(f"unknown tenant {tenant_id!r}")
+        return self._demand_streams[tenant_id]
+
+    @property
+    def total_streams(self) -> float:
+        """All tenants' demand, summed in registration order."""
+        total = 0.0
+        for streams in self._demand_streams.values():
+            total += streams
+        return total
+
+    def extern_streams(self, tenant_id: str) -> float:
+        """Demand from every tenant *except* ``tenant_id``.
+
+        Summed in registration order skipping the caller (not
+        ``total - own``), so conservation ``extern + own == total`` holds
+        to float associativity, not just approximately.
+        """
+        if tenant_id not in self._demand_streams:
+            raise EdgeError(f"unknown tenant {tenant_id!r}")
+        extern = 0.0
+        for other, streams in self._demand_streams.items():
+            if other != tenant_id:
+                extern += streams
+        return extern
+
+    def slowdown(self) -> float:
+        """Processor-sharing slowdown at the current total demand."""
+        total = self.total_streams
+        if total <= self.config.capacity_streams:
+            return 1.0
+        return (total / self.config.capacity_streams) ** self.config.queue_exponent
+
+    def snapshot(self) -> Dict[str, float]:
+        """Tenant → demand, for reports and tests."""
+        return dict(self._demand_streams)

@@ -1,0 +1,98 @@
+"""The edge pricing snapshot and its shared latency arithmetic.
+
+:class:`EdgeShare` freezes everything needed to price an offloaded task
+at one instant: the server's processor-sharing parameters, the streams
+*other* tenants currently place on it, and the link's current state.
+Both pricing paths — the scalar contention model and the vectorized
+backend — consume the same snapshot through the same helper functions
+below, which is what makes them bit-identical: every float operation is
+written exactly once.
+
+An offloaded task's latency decomposes as::
+
+    latency = edge_tx_ms(profile, share)
+            + edge_compute_ms(profile, share) * edge_slowdown(streams, share)
+
+with ``edge_tx_ms`` the link transfer (RTT + payload/bandwidth) and
+``edge_compute_ms`` the server-side compute (CPU isolation latency over
+the server's speedup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.device.profiles import StaticProfile
+from repro.device.resources import Resource
+from repro.errors import EdgeError
+from repro.units import Ms
+
+
+@dataclass(frozen=True)
+class EdgeShare:
+    """One session's view of the edge resource at a pricing instant."""
+
+    capacity_streams: float
+    queue_exponent: float
+    #: Streams placed on the server by *other* tenants (fleet sessions).
+    extern_streams: float
+    rtt_ms: Ms
+    bytes_per_ms: float
+    #: Server compute speed relative to the device CPU.
+    speedup: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_streams <= 0:
+            raise EdgeError(
+                f"capacity_streams must be > 0, got {self.capacity_streams}"
+            )
+        if self.queue_exponent < 1.0:
+            raise EdgeError(
+                f"queue_exponent must be >= 1, got {self.queue_exponent}"
+            )
+        if self.extern_streams < 0:
+            raise EdgeError(
+                f"extern_streams must be >= 0, got {self.extern_streams}"
+            )
+        if self.rtt_ms < 0:
+            raise EdgeError(f"rtt_ms must be >= 0, got {self.rtt_ms}")
+        if self.bytes_per_ms <= 0:
+            raise EdgeError(f"bytes_per_ms must be > 0, got {self.bytes_per_ms}")
+        if self.speedup <= 0:
+            raise EdgeError(f"speedup must be > 0, got {self.speedup}")
+
+
+def edge_payload_bytes(profile: StaticProfile) -> int:
+    """Round-trip wire bytes for one inference: frame up, result down."""
+    return int(profile.input_bytes + profile.output_bytes)
+
+
+def edge_demand(profile: StaticProfile) -> float:
+    """Stream weight one offloaded instance places on the edge server.
+
+    The server runs the same model binaries, so the device CPU stream
+    weight is the natural unit.
+    """
+    return profile.cpu_demand
+
+
+def edge_tx_ms(profile: StaticProfile, share: EdgeShare) -> Ms:
+    """Link transfer time at the snapshot's bandwidth (contention-free)."""
+    return share.rtt_ms + edge_payload_bytes(profile) / share.bytes_per_ms
+
+
+def edge_compute_ms(profile: StaticProfile, share: EdgeShare) -> Ms:
+    """Server-side compute in isolation: device-CPU latency over speedup."""
+    return profile.latency(Resource.CPU) / share.speedup
+
+
+def edge_slowdown(streams: float, share: EdgeShare) -> float:
+    """Processor-sharing slowdown at ``streams`` concurrent streams.
+
+    Same functional form as the on-device processors
+    (:meth:`repro.device.soc.SoCSpec.slowdown`): free below capacity,
+    power-law stretch beyond it.
+    """
+    if streams <= share.capacity_streams:
+        return 1.0
+    return (streams / share.capacity_streams) ** share.queue_exponent

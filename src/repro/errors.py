@@ -72,6 +72,11 @@ class FleetError(ReproError):
     a run that never drains)."""
 
 
+class EdgeError(ReproError):
+    """The edge offloading subsystem was misused (unknown tenant, a task
+    offloaded without an edge runtime, invalid link/server parameters)."""
+
+
 class ObservabilityError(ReproError):
     """A tracing or metrics request was invalid (malformed metric name,
     mismatched histogram buckets, unbalanced span close, a trace file

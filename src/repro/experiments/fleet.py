@@ -17,6 +17,7 @@ from typing import List, Optional, Tuple
 
 from repro.core.controller import HBOConfig
 from repro.device.profiles import GALAXY_S22, PIXEL7
+from repro.edge.runtime import EdgeConfig
 from repro.errors import ExperimentError
 from repro.experiments.common import DEFAULT_SEED
 from repro.experiments.report import format_kv, format_series, format_table
@@ -96,12 +97,15 @@ def run_fleet_experiment(
     n_sessions: int = 16,
     warm_start: bool = True,
     store: Optional[SharedConfigStore] = None,
+    edge: Optional[EdgeConfig] = None,
 ) -> FleetExperimentResult:
     """Run the mixed fleet; pass ``warm_start=False`` for an all-cold
-    control run (every session ignores the store on admission)."""
+    control run (every session ignores the store on admission), and an
+    :class:`~repro.edge.runtime.EdgeConfig` to stand up one shared edge
+    server all sessions offload to and contend on."""
     cfg = config if config is not None else HBOConfig()
     specs = default_fleet_specs(n_sessions, cfg, seed=seed)
-    fleet_config = FleetConfig(hbo=cfg, warm_start=warm_start)
+    fleet_config = FleetConfig(hbo=cfg, warm_start=warm_start, edge=edge)
     scheduler = FleetScheduler(
         specs, seed=derive_seed(seed, "fleet"), config=fleet_config, store=store
     )

@@ -26,6 +26,8 @@ from repro.backend.plan import EvalPlan
 from repro.backend.solve import solve
 from repro.core.algorithm import PendingEvaluation
 from repro.core.controller import HBOConfig
+from repro.edge.runtime import EdgeConfig
+from repro.edge.server import EdgeServer
 from repro.errors import FleetError
 from repro.fleet.batch import SharedOptimizerService
 from repro.fleet.session import FleetSession, SessionPhase, SessionSpec
@@ -49,6 +51,11 @@ class FleetConfig:
     tick_s: float = 1.0  # one control period per session per tick
     warm_start: bool = True  # consult the shared store on admission
     hbo: HBOConfig = field(default_factory=HBOConfig)
+    #: Edge offloading (off by default): when set, the scheduler stands
+    #: up ONE shared :class:`~repro.edge.server.EdgeServer` and every
+    #: session gets its own wireless link + tenancy on it, so sessions
+    #: contend for edge compute across the fleet.
+    edge: Optional[EdgeConfig] = None
 
     def __post_init__(self) -> None:
         if self.tick_s <= 0:
@@ -97,9 +104,23 @@ class FleetScheduler:
         self.store = store if store is not None else SharedConfigStore()
         self.service = service if service is not None else SharedOptimizerService()
         self.clock = SimClock()
+        #: The fleet's shared edge server (None when edge is off): all
+        #: sessions register as tenants of this one instance, so one
+        #: session's offloaded demand slows every other's.
+        self.edge_server: Optional[EdgeServer] = (
+            EdgeServer(self.config.edge.server)
+            if self.config.edge is not None
+            else None
+        )
         rngs = spawn_rngs(seed, len(specs))
         self.sessions: List[FleetSession] = [
-            FleetSession(spec, self.config.hbo, rng)
+            FleetSession(
+                spec,
+                self.config.hbo,
+                rng,
+                edge=self.config.edge,
+                edge_server=self.edge_server,
+            )
             for spec, rng in zip(specs, rngs)
         ]
 
@@ -173,7 +194,14 @@ class FleetScheduler:
             device = session.system.device
             if device.thermal is None:
                 row_of[i] = len(rows)
-                rows.append((device.soc, device.placements(), device.load))
+                rows.append(
+                    (
+                        device.soc,
+                        device.placements(),
+                        device.load,
+                        device.edge_share(),
+                    )
+                )
         if not rows:
             return [None] * len(stepped)
         plan = EvalPlan.from_placement_rows(rows)

@@ -32,6 +32,8 @@ from repro.core.controller import HBOConfig
 from repro.core.lookup import EnvironmentSignature
 from repro.core.system import MARSystem
 from repro.device.profiles import PIXEL7
+from repro.edge.runtime import EdgeConfig, build_edge_runtime
+from repro.edge.server import EdgeServer
 from repro.errors import FleetError
 from repro.fleet.store import SharedConfigStore, WarmStartEntry
 from repro.sim.scenarios import build_system, place_catalog, scenario_catalog
@@ -89,10 +91,14 @@ class FleetSession:
         spec: SessionSpec,
         config: HBOConfig,
         rng: np.random.Generator,
+        edge: Optional[EdgeConfig] = None,
+        edge_server: Optional[EdgeServer] = None,
     ) -> None:
         self.spec = spec
         self.config = config
         self.rng = rng
+        self._edge_config = edge
+        self._edge_server = edge_server
         self.phase = SessionPhase.WAITING
         self.system: Optional[MARSystem] = None
         self.optimizer: Optional[BayesianOptimizer] = None
@@ -148,6 +154,18 @@ class FleetSession:
         # Placement is keyed by the spec (shared within a cohort); the
         # noise stream comes from the session's own decorrelated rng.
         session_seed = int(self.rng.integers(0, 2**31))
+        # The link seed is drawn AFTER the session seed and ONLY when
+        # edge is enabled, so device-only fleets consume exactly the
+        # pre-edge draws from this stream (fixed-seed byte identity).
+        edge_runtime = None
+        if self._edge_config is not None:
+            link_seed = int(self.rng.integers(0, 2**31))
+            edge_runtime = build_edge_runtime(
+                config=self._edge_config,
+                seed=link_seed,
+                session_id=spec.session_id,
+                server=self._edge_server,
+            )
         self.system = build_system(
             spec.scenario,
             spec.taskset,
@@ -156,6 +174,7 @@ class FleetSession:
             noise_sigma=spec.noise_sigma,
             samples_per_period=spec.samples_per_period,
             place_objects=False,
+            edge=edge_runtime,
         )
         place_catalog(
             self.system.scene,
@@ -253,6 +272,10 @@ class FleetSession:
                 scope=self.spec.device,
                 session_id=self.spec.session_id,
             )
+        # Leave the shared edge server: a finished session's offloaded
+        # demand must stop slowing the tenants still running.
+        if self.system.device.edge is not None:
+            self.system.device.edge.release()
         self.phase = SessionPhase.DONE
         self.end_tick = tick
 

@@ -28,6 +28,8 @@ from repro.core.system import MARSystem
 from repro.device.executor import DeviceSimulator
 from repro.device.profiles import GALAXY_S22, PIXEL7
 from repro.device.soc import SoCSpec, galaxy_s22_soc, pixel7_soc
+from repro.edge.link import WirelessLink
+from repro.edge.runtime import EdgeRuntime, extend_taskset
 from repro.errors import ConfigurationError
 from repro.models.tasks import TaskSet, taskset_cf1, taskset_cf2
 from repro.rng import SeedLike, derive_seed, make_rng
@@ -85,12 +87,16 @@ def build_system(
     samples_per_period: int = 20,
     soc: Optional[SoCSpec] = None,
     place_objects: bool = True,
+    edge: Optional[EdgeRuntime] = None,
 ) -> MARSystem:
     """Assemble a ready-to-run MAR system for a paper scenario.
 
     ``seed`` drives both object placement and device measurement noise
     (through decorrelated child streams), so a single integer reproduces
-    the whole experiment.
+    the whole experiment. Passing an :class:`~repro.edge.runtime.
+    EdgeRuntime` extends every CPU-capable task with an ``EDGE`` latency
+    row and attaches the runtime to the device (N becomes 4); ``None``
+    (the default) leaves the build byte-identical to the pre-edge path.
     """
     if device not in _SOC_FACTORIES:
         raise ConfigurationError(
@@ -107,14 +113,57 @@ def build_system(
         soc if soc is not None else _SOC_FACTORIES[device](),
         noise_sigma=noise_sigma,
         seed=derive_seed(seed, "device-noise"),
+        edge=edge,
     )
+    taskset_obj = scenario_taskset(taskset, device)
+    if edge is not None:
+        taskset_obj = extend_taskset(taskset_obj, edge.config)
     return MARSystem(
-        taskset=scenario_taskset(taskset, device),
+        taskset=taskset_obj,
         device=device_sim,
         scene=scene,
         render_model=RenderLoadModel(),
         samples_per_period=samples_per_period,
     )
+
+
+#: The network-drift scenario: (time_s, bandwidth_scale) breakpoints.
+#: The link starts nominal, collapses to a quarter of its bandwidth
+#: mid-run (a user walking behind an obstruction), then partially
+#: recovers — the collapse inflates offloaded tasks' transfer time and
+#: should push a re-optimization back onto the device.
+NETWORK_DRIFT_SCHEDULE: Tuple[Tuple[float, float], ...] = (
+    (0.0, 1.0),
+    (30.0, 0.25),
+    (60.0, 0.6),
+)
+
+
+def network_drift_scale(
+    now_s: float,
+    schedule: Tuple[Tuple[float, float], ...] = NETWORK_DRIFT_SCHEDULE,
+) -> float:
+    """The scheduled bandwidth scale in force at ``now_s`` (step-wise
+    constant; times before the first breakpoint use its scale)."""
+    if not schedule:
+        raise ConfigurationError("drift schedule must have >= 1 breakpoint")
+    scale = schedule[0][1]
+    for time_s, value in schedule:
+        if now_s >= time_s:
+            scale = value
+    return scale
+
+
+def apply_network_drift(
+    link: WirelessLink,
+    now_s: float,
+    schedule: Tuple[Tuple[float, float], ...] = NETWORK_DRIFT_SCHEDULE,
+) -> float:
+    """Force ``link`` onto the scheduled bandwidth scale for ``now_s``
+    (overriding random drift) and return the applied scale."""
+    scale = network_drift_scale(now_s, schedule)
+    link.set_bandwidth_scale(scale)
+    return scale
 
 
 def fig8_event_script(seed: SeedLike = 11) -> Tuple[Tuple[SceneEvent, ...], float]:

@@ -19,8 +19,10 @@ from repro.backend.solve import solve
 from repro.core.cost import cost, normalized_average_latency
 from repro.device.contention import ContentionModel, SystemLoad, TaskPlacement
 from repro.device.profiles import GALAXY_S22, PIXEL7, get_profile
-from repro.device.resources import ALL_RESOURCES, Processor
+from repro.device.resources import ALL_RESOURCES, EDGE_RESOURCES, Processor
 from repro.device.soc import galaxy_s22_soc, pixel7_soc
+from repro.edge.runtime import EdgeConfig, extend_profile
+from repro.edge.share import EdgeShare
 
 _SOC_OF = {PIXEL7: pixel7_soc, GALAXY_S22: galaxy_s22_soc}
 _MODELS = (
@@ -50,12 +52,30 @@ loads = st.builds(
 )
 
 
-def _placements(device, specs):
-    """Resolve (model, choice) specs to valid placements on ``device``."""
+edge_shares = st.builds(
+    EdgeShare,
+    capacity_streams=st.floats(min_value=0.5, max_value=12.0),
+    queue_exponent=st.floats(min_value=1.0, max_value=2.0),
+    extern_streams=st.floats(min_value=0.0, max_value=20.0),
+    rtt_ms=st.floats(min_value=0.0, max_value=80.0),
+    bytes_per_ms=st.floats(min_value=100.0, max_value=50_000.0),
+    speedup=st.floats(min_value=0.5, max_value=20.0),
+)
+
+
+def _placements(device, specs, edge=False):
+    """Resolve (model, choice) specs to valid placements on ``device``.
+
+    With ``edge=True`` profiles are extended with the EDGE row and the
+    choice index runs over the 4-resource tuple.
+    """
     out = []
+    resources = EDGE_RESOURCES if edge else ALL_RESOURCES
     for i, (model, choice) in enumerate(specs):
         profile = get_profile(device, model)
-        supported = [r for r in ALL_RESOURCES if profile.supports(r)]
+        if edge:
+            profile = extend_profile(profile, EdgeConfig())
+        supported = [r for r in resources if profile.supports(r)]
         out.append(
             TaskPlacement(f"t{i}", profile, supported[choice % len(supported)])
         )
@@ -136,6 +156,86 @@ class TestLatencyParity:
                 batched.latency_ms[i, :m], single.latency_ms[0, :m]
             )
             assert np.all(batched.latency_ms[i, m:] == 0.0)
+
+
+class TestEdgeParity:
+    """Edge rows price bit-identically through the batched solver."""
+
+    @given(device=devices, specs=task_specs, load=loads, share=edge_shares)
+    @settings(max_examples=150, deadline=None)
+    def test_edge_rows_exact_mode_is_bitwise(self, device, specs, load, share):
+        """A row carrying EDGE placements + an EdgeShare matches the
+        scalar contention path bit for bit in exact mode."""
+        soc = _SOC_OF[device]()
+        model = ContentionModel(soc)
+        placements = _placements(device, specs, edge=True)
+        state = model.processor_state(placements, load, share)
+        scalar_lat = {
+            p.task_id: model.task_latency(p, state, share) for p in placements
+        }
+
+        plan = EvalPlan.from_placement_rows([(soc, placements, load, share)])
+        result = solve(plan, exact=True)
+
+        assert result.edge_slowdown is not None
+        assert result.edge_slowdown[0] == state.edge_slowdown
+        batched = plan.latency_map(result.latency_ms, 0)
+        assert set(batched) == set(scalar_lat)
+        for task_id in scalar_lat:
+            assert batched[task_id] == scalar_lat[task_id]
+
+    @given(
+        device=devices,
+        rows=st.lists(
+            st.tuples(task_specs, loads, st.booleans()), min_size=2, max_size=5
+        ),
+        share=edge_shares,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mixed_edge_and_device_rows_are_independent(
+        self, device, rows, share
+    ):
+        """Edge rows and shareless device-only rows coexist in one batch
+        without perturbing each other's bits."""
+        soc = _SOC_OF[device]()
+        built = [
+            (
+                soc,
+                _placements(device, specs, edge=has_edge),
+                load,
+                share if has_edge else None,
+            )
+            for specs, load, has_edge in rows
+        ]
+        batched_plan = EvalPlan.from_placement_rows(built)
+        batched = solve(batched_plan, exact=True)
+        for i, row in enumerate(built):
+            single_plan = EvalPlan.from_placement_rows([row])
+            single = solve(single_plan, exact=True)
+            assert np.array_equal(batched.slowdown[i], single.slowdown[0])
+            m = len(row[1])
+            assert np.array_equal(
+                batched.latency_ms[i, :m], single.latency_ms[0, :m]
+            )
+
+    @given(device=devices, specs=task_specs, load=loads)
+    @settings(max_examples=60, deadline=None)
+    def test_shareless_four_tuple_rows_match_three_tuple_plans(
+        self, device, specs, load
+    ):
+        """Passing ``share=None`` in a 4-tuple builds a plan structurally
+        identical to the pre-edge 3-tuple path (no edge block at all)."""
+        soc = _SOC_OF[device]()
+        placements = _placements(device, specs)
+        plan3 = EvalPlan.from_placement_rows([(soc, placements, load)])
+        plan4 = EvalPlan.from_placement_rows([(soc, placements, load, None)])
+        assert plan4.task_edge_tx_ms is None
+        assert plan4.edge_capacity is None
+        r3 = solve(plan3, exact=True)
+        r4 = solve(plan4, exact=True)
+        assert r4.edge_slowdown is None
+        assert np.array_equal(r3.latency_ms, r4.latency_ms)
+        assert np.array_equal(r3.slowdown, r4.slowdown)
 
 
 degradation_objects = st.lists(

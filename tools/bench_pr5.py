@@ -1,0 +1,77 @@
+"""Distill the edge-offloading frontier comparison into BENCH_pr5.json.
+
+Usage: PYTHONPATH=src python tools/bench_pr5.py <output-json>
+
+Runs ``repro.experiments.edge.run_edge_experiment`` — the exhaustive
+device-only (N = 3) vs edge-enabled (N = 4) lattice comparison on the
+heavy co-location scenario — and records the frontier optima the docs
+quote: per-ratio ε for both grids, the strict-win count, the largest
+equal-quality ε win, and the network-drift replay. The experiment is a
+pure function of its seed, so the committed report is reproducible
+byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict
+
+from repro.experiments.edge import EdgeExperimentResult, run_edge_experiment
+
+
+def distill(result: EdgeExperimentResult) -> Dict[str, Any]:
+    best = result.best_win
+    return {
+        "source": "repro.experiments.edge (tools/bench_pr5.py, make bench)",
+        "setup": {
+            "device": result.device,
+            "scenario": result.scenario,
+            "taskset": result.taskset,
+            "w": result.w,
+            "n_device_candidates": result.n_device_candidates,
+            "n_edge_candidates": result.n_edge_candidates,
+        },
+        "headline": {
+            "n_matched_ratios": len(result.rows),
+            "n_strict_eps_wins": result.n_strict_wins,
+            "largest_eps_win": round(best.epsilon_win, 6),
+            "at_triangle_ratio": round(best.triangle_ratio, 6),
+            "device_only_eps": round(best.device_only.epsilon, 6),
+            "edge_enabled_eps": round(best.edge.epsilon, 6),
+        },
+        "matched_ratios": [
+            {
+                "triangle_ratio": round(row.triangle_ratio, 6),
+                "device_counts": list(row.device_only.counts),
+                "device_eps": round(row.device_only.epsilon, 6),
+                "edge_counts": list(row.edge.counts),
+                "edge_eps": round(row.edge.epsilon, 6),
+                "eps_win": round(row.epsilon_win, 6),
+            }
+            for row in result.rows
+        ],
+        "network_drift": [
+            {
+                "time_s": row.time_s,
+                "bandwidth_scale": row.bandwidth_scale,
+                "n_offloaded": row.n_offloaded,
+                "eps": round(row.epsilon, 6),
+            }
+            for row in result.drift
+        ],
+    }
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        raise SystemExit(__doc__)
+    report = distill(run_edge_experiment())
+    with open(sys.argv[1], "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {sys.argv[1]}: {json.dumps(report['headline'])}")
+
+
+if __name__ == "__main__":
+    main()
