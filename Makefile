@@ -6,7 +6,8 @@ PYTHON ?= python
 .PHONY: reprolint ruff mypy lint test fleet-smoke trace-smoke edge-smoke bench bench-smoke check
 
 reprolint:
-	PYTHONPATH=tools $(PYTHON) -m reprolint src benchmarks examples
+	PYTHONPATH=tools $(PYTHON) -m reprolint src benchmarks examples \
+		--baseline reprolint_baseline.json
 
 # ruff/mypy come from `pip install -e .[dev]`; skip with a notice when the
 # container doesn't have them so `make lint` stays useful everywhere.

@@ -31,8 +31,8 @@ from repro.edge.share import (
 )
 from repro.errors import DeviceError, EdgeError
 
-if TYPE_CHECKING:  # pragma: no cover - typing only; avoids an import cycle
-    from repro.device.contention import SystemLoad, TaskPlacement
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.device.load import SystemLoad, TaskPlacement
 
 #: Processor axis of every ``(n, 3)`` array: CPU, GPU, NPU.
 PROC_CPU, PROC_GPU, PROC_NPU = 0, 1, 2

@@ -213,7 +213,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     )
     print(fleet_exp.render(experiment))
     if args.export:
-        from repro.sim.export import fleet_result_to_dict, save_json
+        from repro.fleet.export import fleet_result_to_dict
+        from repro.sim.export import save_json
 
         save_json(fleet_result_to_dict(experiment.result), args.export)
         print(f"fleet trace exported to {args.export}")

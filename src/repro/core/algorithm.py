@@ -18,7 +18,7 @@ import numpy as np
 from repro.bo.optimizer import BayesianOptimizer
 from repro.bo.space import HBOSpace
 from repro.core.allocation import allocate_tasks, proportions_to_counts
-from repro.core.cost import cost_from_measurement
+from repro.core.cost import cost_from_measurement, latency_cost
 from repro.core.frontier import FrontierEvaluator, FrontierResult
 from repro.core.system import MARSystem, Measurement
 from repro.device.resources import Resource
@@ -174,7 +174,7 @@ class HBOIteration:
         allocation = pending.allocation
 
         if self.latency_only:
-            phi = self.w * measurement.epsilon
+            phi = latency_cost(measurement.epsilon, self.w)
         elif self._power_model is not None:
             from repro.device.power import energy_aware_cost
 

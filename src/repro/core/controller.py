@@ -172,7 +172,7 @@ class HBOController:
         """Measure the currently-running configuration and record it in
         the BO dataset (see ``HBOConfig.seed_incumbent``)."""
         from repro.core.algorithm import IterationResult
-        from repro.core.cost import cost_from_measurement
+        from repro.core.cost import cost_from_measurement, latency_cost
 
         cfg = self.config
         space: HBOSpace = optimizer.space  # type: ignore[assignment]
@@ -189,7 +189,7 @@ class HBOController:
         z = space.project(space.join(proportions, ratio))
         measurement = self.system.measure()
         if cfg.latency_only:
-            phi = cfg.w * measurement.epsilon
+            phi = latency_cost(measurement.epsilon, cfg.w)
         elif cfg.w_power > 0:
             from repro.device.power import PowerModel, energy_aware_cost
 

@@ -72,3 +72,12 @@ def cost(quality: float, epsilon: float, w: float) -> float:
 def cost_from_measurement(measurement: "Measurement", w: float) -> float:
     """φ for a completed control-period measurement."""
     return cost(measurement.quality, measurement.epsilon, w)
+
+
+def latency_cost(epsilon: float, w: float) -> float:
+    """Eq. 5's latency-only variant (BNT ablation): φ = w · ε.
+
+    Quality is held fixed by the baseline, so the objective reduces to
+    the weighted latency degradation alone.
+    """
+    return w * epsilon

@@ -8,6 +8,8 @@ This package replaces the silicon with a parametric simulator:
 - :mod:`repro.device.soc` — SoC descriptions with per-processor capacities
   and rendering-throughput constants.
 - :mod:`repro.device.profiles` — the paper's Table I isolation latencies.
+- :mod:`repro.device.load` — the static placement/load value types
+  (:class:`TaskPlacement`, :class:`SystemLoad`) shared with lower layers.
 - :mod:`repro.device.contention` — the processor-sharing contention model
   that generates the Fig. 2 phenomena (co-location slowdown, NNAPI op
   splitting, rendering interference on the GPU, communication overhead).
@@ -17,8 +19,9 @@ This package replaces the silicon with a parametric simulator:
 - :mod:`repro.device.thermal` — optional thermal-throttling extension.
 """
 
-from repro.device.contention import ContentionModel, SystemLoad, TaskPlacement
+from repro.device.contention import ContentionModel
 from repro.device.executor import DeviceSimulator, LatencySample
+from repro.device.load import SystemLoad, TaskPlacement
 from repro.device.resources import (
     ALL_RESOURCES,
     Processor,

@@ -40,68 +40,21 @@ from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro.backend.plan import EvalPlan
 from repro.backend.solve import solve
-from repro.device.profiles import StaticProfile
+
+# TaskPlacement and SystemLoad moved to repro.device.load (layer leaf);
+# re-exported here so existing `from repro.device.contention import ...`
+# call sites keep working.
+from repro.device.load import SystemLoad, TaskPlacement
 from repro.device.resources import Processor, Resource
 from repro.device.soc import SoCSpec
 from repro.edge.share import (
     EdgeShare,
-    edge_compute_ms,
     edge_demand,
     edge_slowdown,
-    edge_tx_ms,
+    edge_total_ms,
 )
-from repro.errors import DeviceError, EdgeError, IncompatibleDelegateError
+from repro.errors import DeviceError, EdgeError
 from repro.units import Ms
-
-
-@dataclass(frozen=True)
-class TaskPlacement:
-    """One AI task instance pinned to an allocation choice."""
-
-    task_id: str
-    profile: StaticProfile
-    resource: Resource
-
-    def __post_init__(self) -> None:
-        if not self.profile.supports(self.resource):
-            raise IncompatibleDelegateError(self.profile.model, str(self.resource))
-
-
-@dataclass(frozen=True)
-class SystemLoad:
-    """AR-side load on the SoC for the current period.
-
-    ``rendered_triangles`` is the post-culling count that reaches the
-    GPU's rasterizer; ``submitted_triangles`` is the pre-culling count the
-    CPU-side driver still has to feed per frame (vertex submission happens
-    before backface culling discards anything). When only one is known,
-    constructors may pass ``submitted_triangles=None`` and the rendered
-    value is used for both.
-    """
-
-    rendered_triangles: float = 0.0
-    n_objects: int = 0
-    submitted_triangles: float = None  # type: ignore[assignment]
-    base_gpu_streams: float = 0.0  # camera preview + compositing of a live AR session
-
-    def __post_init__(self) -> None:
-        if self.base_gpu_streams < 0:
-            raise DeviceError(
-                f"base_gpu_streams must be >= 0, got {self.base_gpu_streams}"
-            )
-        if self.rendered_triangles < 0:
-            raise DeviceError(
-                f"rendered_triangles must be >= 0, got {self.rendered_triangles}"
-            )
-        if self.n_objects < 0:
-            raise DeviceError(f"n_objects must be >= 0, got {self.n_objects}")
-        if self.submitted_triangles is None:
-            object.__setattr__(self, "submitted_triangles", self.rendered_triangles)
-        if self.submitted_triangles < self.rendered_triangles - 1e-9:
-            raise DeviceError(
-                "submitted_triangles cannot be below rendered_triangles: "
-                f"{self.submitted_triangles} < {self.rendered_triangles}"
-            )
 
 
 @dataclass(frozen=True)
@@ -236,9 +189,7 @@ class ContentionModel:
                     f"{placement.task_id!r} is placed on EDGE but no "
                     "EdgeShare was provided"
                 )
-            return edge_tx_ms(profile, edge) + (
-                edge_compute_ms(profile, edge) * state.edge_slowdown
-            )
+            return edge_total_ms(profile, edge, state.edge_slowdown)
         iso = profile.latency(placement.resource)
         if placement.resource is Resource.CPU:
             return iso * state.slowdown[Processor.CPU]

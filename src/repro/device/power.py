@@ -24,8 +24,8 @@ from repro.device.resources import Processor, Resource
 from repro.device.soc import SoCSpec
 from repro.edge.share import (
     EdgeShare,
-    edge_compute_ms,
     edge_payload_bytes,
+    edge_total_ms,
     edge_tx_ms,
 )
 from repro.errors import ConfigurationError
@@ -94,7 +94,7 @@ class RadioPower:
                 continue
             profile = placement.profile
             tx_ms = edge_tx_ms(profile, edge)
-            cycle_ms = tx_ms + edge_compute_ms(profile, edge) * edge_slowdown
+            cycle_ms = edge_total_ms(profile, edge, edge_slowdown)
             if cycle_ms <= 0:
                 continue
             duty = min(1.0, tx_ms / cycle_ms)

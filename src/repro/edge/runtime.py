@@ -21,9 +21,10 @@ from repro.edge.link import LinkConfig, WirelessLink
 from repro.edge.server import EdgeServer, EdgeServerConfig
 from repro.edge.share import (
     EdgeShare,
-    edge_compute_ms,
     edge_demand,
+    edge_queue_ms,
     edge_slowdown,
+    edge_total_ms,
     edge_tx_ms,
 )
 from repro.errors import EdgeError
@@ -70,7 +71,7 @@ def extend_profile(profile: StaticProfile, config: EdgeConfig) -> StaticProfile:
     if not profile.supports(Resource.CPU):
         return profile
     share = nominal_share(config)
-    iso_ms = edge_tx_ms(profile, share) + edge_compute_ms(profile, share)
+    iso_ms = edge_total_ms(profile, share)
     return replace(
         profile, latency_ms={**profile.latency_ms, Resource.EDGE: iso_ms}
     )
@@ -139,7 +140,7 @@ class EdgeRuntime:
         for profile in offloaded:
             obs.histogram("link_tx_ms").observe(edge_tx_ms(profile, share))
             obs.histogram("edge_queue_ms").observe(
-                edge_compute_ms(profile, share) * (slow - 1.0)
+                edge_queue_ms(profile, share, slow)
             )
 
     def release(self) -> None:

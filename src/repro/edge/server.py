@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
+from repro.edge.share import sharing_slowdown
 from repro.errors import EdgeError
 
 
@@ -110,10 +111,11 @@ class EdgeServer:
 
     def slowdown(self) -> float:
         """Processor-sharing slowdown at the current total demand."""
-        total = self.total_streams
-        if total <= self.config.capacity_streams:
-            return 1.0
-        return (total / self.config.capacity_streams) ** self.config.queue_exponent
+        return sharing_slowdown(
+            self.total_streams,
+            self.config.capacity_streams,
+            self.config.queue_exponent,
+        )
 
     def snapshot(self) -> Dict[str, float]:
         """Tenant → demand, for reports and tests."""

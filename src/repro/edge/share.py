@@ -86,6 +86,22 @@ def edge_compute_ms(profile: StaticProfile, share: EdgeShare) -> Ms:
     return profile.latency(Resource.CPU) / share.speedup
 
 
+def sharing_slowdown(
+    streams: float, capacity_streams: float, queue_exponent: float
+) -> float:
+    """Generic processor-sharing slowdown: free below capacity, power-law
+    stretch beyond it.
+
+    This is the single source for the contention slowdown's functional
+    form — :func:`edge_slowdown` and the edge server's tenant-facing
+    slowdown both delegate here, so the scalar and vectorized paths can
+    never drift apart (RL008 enforces this mechanically).
+    """
+    if streams <= capacity_streams:
+        return 1.0
+    return (streams / capacity_streams) ** queue_exponent
+
+
 def edge_slowdown(streams: float, share: EdgeShare) -> float:
     """Processor-sharing slowdown at ``streams`` concurrent streams.
 
@@ -93,6 +109,27 @@ def edge_slowdown(streams: float, share: EdgeShare) -> float:
     (:meth:`repro.device.soc.SoCSpec.slowdown`): free below capacity,
     power-law stretch beyond it.
     """
-    if streams <= share.capacity_streams:
-        return 1.0
-    return (streams / share.capacity_streams) ** share.queue_exponent
+    return sharing_slowdown(
+        streams, share.capacity_streams, share.queue_exponent
+    )
+
+
+def edge_total_ms(
+    profile: StaticProfile, share: EdgeShare, slowdown: float = 1.0
+) -> Ms:
+    """End-to-end offload latency: transfer plus slowed server compute.
+
+    With the default ``slowdown`` of 1.0 this is the contention-free
+    isolation latency (``x * 1.0`` is exact in IEEE-754, so the nominal
+    and contended paths share one formula without a rounding difference).
+    """
+    return edge_tx_ms(profile, share) + (
+        edge_compute_ms(profile, share) * slowdown
+    )
+
+
+def edge_queue_ms(
+    profile: StaticProfile, share: EdgeShare, slowdown: float
+) -> Ms:
+    """Queueing excess over isolation compute at a given slowdown."""
+    return edge_compute_ms(profile, share) * (slowdown - 1.0)

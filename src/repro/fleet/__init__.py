@@ -12,6 +12,7 @@ from repro.fleet.batch import (
     batched_expected_improvement,
     batched_kernel_matrix,
 )
+from repro.fleet.export import fleet_report_to_dict, fleet_result_to_dict
 from repro.fleet.scheduler import (
     FleetConfig,
     FleetResult,
@@ -41,6 +42,8 @@ __all__ = [
     "batched_kernel_matrix",
     "FleetConfig",
     "FleetResult",
+    "fleet_report_to_dict",
+    "fleet_result_to_dict",
     "FleetScheduler",
     "run_fleet",
     "FleetSession",

@@ -13,8 +13,6 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
-    from repro.fleet.scheduler import FleetResult
-    from repro.fleet.telemetry import FleetSessionReport
     from repro.obs.metrics import MetricsRegistry
 
 from repro.core.controller import HBORunResult
@@ -125,62 +123,26 @@ def trace_from_dict(data: Dict[str, Any]) -> SessionTrace:
     return trace
 
 
-def fleet_report_to_dict(report: "FleetSessionReport") -> Dict[str, Any]:
-    """Serialize one session's fleet report."""
-    return {
-        "session_id": report.session_id,
-        "device": report.device,
-        "scenario": report.scenario,
-        "taskset": report.taskset,
-        "arrival_s": report.arrival_s,
-        "start_tick": report.start_tick,
-        "end_tick": report.end_tick,
-        "warm_started": report.warm_started,
-        "n_warm": report.n_warm,
-        "warm_source": report.warm_source,
-        "costs": [float(c) for c in report.costs],
-        "latencies_ms": [float(v) for v in report.latencies_ms],
-        "qualities": [float(v) for v in report.qualities],
-        "best_cost": report.best_cost,
-        "cohort_best_cost": report.cohort_best_cost,
-        "converged_at": report.converged_at,
-    }
+def fleet_report_to_dict(report: Any) -> Dict[str, Any]:
+    """Backward-compat wrapper: moved to :mod:`repro.fleet.export`.
+
+    The fleet serializers lived here before RL006 flagged the upward
+    ``sim → fleet`` type dependency. The lazy import below is the
+    allowlisted compat seam; new code should import from
+    ``repro.fleet.export`` directly.
+    """
+    from repro.fleet.export import fleet_report_to_dict as _impl
+
+    return _impl(report)
 
 
 def fleet_result_to_dict(
-    result: "FleetResult", metrics: "Optional[MetricsRegistry]" = None
+    result: Any, metrics: "Optional[MetricsRegistry]" = None
 ) -> Dict[str, Any]:
-    """Serialize a whole fleet run (sessions, aggregates, store/service
-    counters). The determinism tests compare two runs through this
-    function, so every value here must be reproducible from the seed.
+    """Backward-compat wrapper: moved to :mod:`repro.fleet.export`."""
+    from repro.fleet.export import fleet_result_to_dict as _impl
 
-    Pass the run's :class:`~repro.obs.metrics.MetricsRegistry` to embed
-    its snapshot under a ``"metrics"`` key (snapshots contain sim-derived
-    values only, so they are as reproducible as the rest of the export).
-    """
-    aggregates = result.aggregates
-    exported: Dict[str, Any] = {
-        "tick_s": result.tick_s,
-        "ticks": result.ticks,
-        "sessions": [fleet_report_to_dict(r) for r in result.reports],
-        "aggregates": {
-            "n_sessions": aggregates.n_sessions,
-            "n_evaluations": aggregates.n_evaluations,
-            "p50_latency_ms": aggregates.p50_latency_ms,
-            "p95_latency_ms": aggregates.p95_latency_ms,
-            "p50_quality": aggregates.p50_quality,
-            "p95_quality": aggregates.p95_quality,
-            "mean_best_cost": aggregates.mean_best_cost,
-            "median_converged_warm": aggregates.median_converged_warm,
-            "median_converged_cold": aggregates.median_converged_cold,
-        },
-        "histogram": {str(k): v for k, v in result.histogram.items()},
-        "store": result.store_stats,
-        "service": result.service_stats,
-    }
-    if metrics is not None:
-        exported["metrics"] = metrics.snapshot()
-    return exported
+    return _impl(result, metrics)
 
 
 def allocation_from_dict(data: Dict[str, str]) -> Dict[str, Resource]:

@@ -1,0 +1,89 @@
+"""Baseline support: land strict rules without mass-editing old code.
+
+A baseline file records known violations as line-independent
+fingerprints ``(relative path, rule id, message)`` with a count. Under
+``--baseline``, matching violations are filtered (each fingerprint
+absorbs up to its recorded count, so *new* duplicates of a baselined
+pattern still fail). ``--update-baseline`` rewrites the file from the
+current run.
+
+The checked-in ``reprolint_baseline.json`` for this repo is empty by
+policy: every true violation the project rules found in ``src/repro``
+was fixed, not baselined. The mechanism exists for future rule
+introductions.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from reprolint.engine import Violation
+
+BASELINE_VERSION = 1
+
+Fingerprint = Tuple[str, str, str]
+
+
+def _fingerprint(violation: Violation, root: Path) -> Fingerprint:
+    try:
+        rel = violation.path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        rel = violation.path.as_posix()
+    return (rel, violation.rule_id, violation.message)
+
+
+def load_baseline(path: Path) -> "Counter[Fingerprint]":
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline format in {path} "
+            f"(expected version {BASELINE_VERSION})"
+        )
+    counts: Counter[Fingerprint] = Counter()
+    for entry in data.get("entries", []):
+        counts[
+            (
+                str(entry["path"]),
+                str(entry["rule_id"]),
+                str(entry["message"]),
+            )
+        ] += int(entry.get("count", 1))
+    return counts
+
+
+def filter_baselined(
+    violations: Sequence[Violation],
+    baseline: "Counter[Fingerprint]",
+    root: Path,
+) -> Tuple[List[Violation], int]:
+    """Drop violations covered by the baseline; return (kept, absorbed)."""
+    budget = Counter(baseline)
+    kept: List[Violation] = []
+    absorbed = 0
+    for violation in violations:
+        fp = _fingerprint(violation, root)
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+            absorbed += 1
+        else:
+            kept.append(violation)
+    return kept, absorbed
+
+
+def write_baseline(
+    path: Path, violations: Sequence[Violation], root: Path
+) -> None:
+    counts: Counter[Fingerprint] = Counter(
+        _fingerprint(v, root) for v in violations
+    )
+    entries: List[Dict[str, object]] = [
+        {"path": fp[0], "rule_id": fp[1], "message": fp[2], "count": count}
+        for fp, count in sorted(counts.items())
+    ]
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    path.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )

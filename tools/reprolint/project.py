@@ -1,0 +1,275 @@
+"""Pass 1: module registry and import-graph extraction.
+
+The project pass turns a set of analyzed files into a
+:class:`ProjectContext`: a registry mapping dotted module names to paths
+plus, per module, the sequence of :class:`ImportRecord` edges found in
+its AST. Project-scoped rules (layering, parity provenance) consume this
+instead of re-walking trees, which is what keeps warm cached runs cheap —
+import records are serialized into the incremental cache, so a run where
+no file changed never re-parses anything yet still re-checks the whole
+graph.
+
+Module names are resolved the same way the import system would: a file
+belongs to a package iff every directory up to the package root carries
+an ``__init__.py``. Scripts outside any package (``benchmarks/*.py``,
+``examples/*.py``) resolve to ``None`` and are invisible to the project
+pass by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "ImportRecord",
+    "ProjectContext",
+    "ProjectRule",
+    "collect_imports",
+    "module_from_parts",
+    "module_name",
+]
+
+
+@dataclass(frozen=True)
+class ImportRecord:
+    """One import statement edge, resolved to an absolute dotted target.
+
+    ``target`` is the module named by the statement (for ``from m import
+    a, b`` it is ``m``; the engine expands ``names`` against the module
+    registry to catch submodule imports). Relative imports are resolved
+    against the importing module before the record is created.
+    """
+
+    target: str
+    names: Tuple[str, ...]
+    line: int
+    col: int
+    type_checking: bool
+    function_scope: bool
+
+    def to_json(self) -> List[object]:
+        return [
+            self.target,
+            list(self.names),
+            self.line,
+            self.col,
+            self.type_checking,
+            self.function_scope,
+        ]
+
+    @staticmethod
+    def from_json(data: Sequence[object]) -> "ImportRecord":
+        target, names, line, col, type_checking, function_scope = data
+        return ImportRecord(
+            target=str(target),
+            names=tuple(str(n) for n in names),  # type: ignore[union-attr]
+            line=int(line),  # type: ignore[arg-type]
+            col=int(col),  # type: ignore[arg-type]
+            type_checking=bool(type_checking),
+            function_scope=bool(function_scope),
+        )
+
+
+def module_name(path: Path) -> Optional[str]:
+    """Dotted module name for ``path``, or ``None`` outside any package."""
+    try:
+        resolved = path.resolve()
+    except OSError:
+        return None
+    if resolved.name == "__init__.py":
+        parts: List[str] = []
+        pkg_dir = resolved.parent
+    else:
+        parts = [resolved.stem]
+        pkg_dir = resolved.parent
+    if not (pkg_dir / "__init__.py").is_file():
+        return None
+    while (pkg_dir / "__init__.py").is_file():
+        parts.append(pkg_dir.name)
+        pkg_dir = pkg_dir.parent
+    return ".".join(reversed(parts))
+
+
+def module_from_parts(path: Path) -> Optional[str]:
+    """Virtual-path fallback: derive ``repro.x.y`` from path components.
+
+    Used for rule applicability when linting in-memory sources at paths
+    that do not exist on disk (the self-test fixtures). Returns the
+    dotted tail starting at the ``repro`` component, or ``None``.
+    """
+    parts = path.parts
+    if "repro" not in parts:
+        return None
+    tail = list(parts[parts.index("repro"):])
+    tail[-1] = Path(tail[-1]).stem
+    if tail[-1] == "__init__":
+        tail.pop()
+    return ".".join(tail)
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name) and test.id == "TYPE_CHECKING":
+        return True
+    return (
+        isinstance(test, ast.Attribute)
+        and test.attr == "TYPE_CHECKING"
+        and isinstance(test.value, ast.Name)
+        and test.value.id in {"typing", "t", "typing_extensions"}
+    )
+
+
+class _ImportVisitor(ast.NodeVisitor):
+    def __init__(self, module: str, is_package: bool) -> None:
+        self.module = module
+        self.is_package = is_package
+        self.records: List[ImportRecord] = []
+        self._type_checking = 0
+        self._function = 0
+
+    # -- scope tracking ------------------------------------------------
+
+    def visit_If(self, node: ast.If) -> None:
+        if _is_type_checking_test(node.test):
+            self._type_checking += 1
+            for child in node.body:
+                self.visit(child)
+            self._type_checking -= 1
+            for child in node.orelse:
+                self.visit(child)
+        else:
+            self.generic_visit(node)
+
+    def _visit_function(self, node: ast.AST) -> None:
+        self._function += 1
+        self.generic_visit(node)
+        self._function -= 1
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # -- imports -------------------------------------------------------
+
+    def _add(self, target: str, names: Tuple[str, ...], node: ast.stmt) -> None:
+        self.records.append(
+            ImportRecord(
+                target=target,
+                names=names,
+                line=node.lineno,
+                col=node.col_offset,
+                type_checking=self._type_checking > 0,
+                function_scope=self._function > 0,
+            )
+        )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._add(alias.name, (), node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        target = self._resolve(node)
+        if target is not None:
+            self._add(target, tuple(a.name for a in node.names), node)
+
+    def _resolve(self, node: ast.ImportFrom) -> Optional[str]:
+        if node.level == 0:
+            return node.module
+        base_parts = self.module.split(".")
+        # A module's level-1 base is its own package; a package __init__'s
+        # level-1 base is the package itself.
+        drop = (0 if self.is_package else 1) + (node.level - 1)
+        if drop > len(base_parts):
+            return None  # relative import escaping the package root
+        base = base_parts[: len(base_parts) - drop] if drop else base_parts
+        if not base:
+            return None
+        if node.module:
+            return ".".join(base) + "." + node.module
+        return ".".join(base)
+
+
+def collect_imports(
+    tree: ast.Module, module: str, is_package: bool
+) -> Tuple[ImportRecord, ...]:
+    """Extract resolved import edges from a parsed module."""
+    visitor = _ImportVisitor(module, is_package)
+    visitor.visit(tree)
+    return tuple(visitor.records)
+
+
+@dataclass
+class ProjectContext:
+    """The whole-repo view consumed by project-scoped rules."""
+
+    modules: Dict[str, Path] = field(default_factory=dict)
+    imports: Dict[str, Tuple[ImportRecord, ...]] = field(default_factory=dict)
+
+    def add(
+        self, module: str, path: Path, records: Tuple[ImportRecord, ...]
+    ) -> None:
+        if module in self.modules:
+            return  # first registration wins on duplicate module names
+        self.modules[module] = path
+        self.imports[module] = records
+
+    def resolved_edges(
+        self, module: str
+    ) -> Iterator[Tuple[str, ImportRecord]]:
+        """Expand one module's records into (imported module, record) pairs.
+
+        ``from pkg import sub`` names the submodule ``pkg.sub`` when that
+        module exists in the registry; otherwise the edge targets ``pkg``
+        itself (the name is an attribute).
+        """
+        for record in self.imports.get(module, ()):
+            expanded = False
+            for name in record.names:
+                candidate = f"{record.target}.{name}"
+                if candidate in self.modules:
+                    expanded = True
+                    yield candidate, record
+            if not expanded:
+                yield record.target, record
+
+    def signature(self) -> str:
+        """Content hash of the import graph (targets + gating flags).
+
+        Changes whenever any edge appears, disappears, or moves between
+        runtime and ``TYPE_CHECKING`` scope — the exact set of events that
+        can change project-pass results.
+        """
+        digest = hashlib.sha256()
+        for module in sorted(self.imports):
+            digest.update(module.encode())
+            for target, record in sorted(
+                self.resolved_edges(module), key=lambda e: (e[0], e[1].line)
+            ):
+                digest.update(
+                    f"|{target}:{int(record.type_checking)}"
+                    f":{int(record.function_scope)}".encode()
+                )
+            digest.update(b"\n")
+        return digest.hexdigest()
+
+
+class ProjectRule:
+    """Mixin marker for rules that run in the project pass.
+
+    Project rules implement :meth:`check_module` instead of ``check``;
+    the engine calls it once per registered module with the module's
+    cached import records and the full :class:`ProjectContext`.
+    """
+
+    scope = "project"
+
+    def check_module(
+        self,
+        module: str,
+        path: Path,
+        records: Tuple[ImportRecord, ...],
+        project: ProjectContext,
+    ) -> Iterator[object]:
+        raise NotImplementedError

@@ -9,6 +9,10 @@ from reprolint.rules.annotations import PublicAPIAnnotationsRule
 from reprolint.rules.determinism import DeterminismRule
 from reprolint.rules.error_hygiene import ErrorHygieneRule
 from reprolint.rules.float_equality import FloatEqualityRule
+from reprolint.rules.layering import LayeringRule
+from reprolint.rules.parity import ParitySingleSourceRule
+from reprolint.rules.rng_stream import RngStreamRule
+from reprolint.rules.suppression_audit import SuppressionAuditRule
 from reprolint.rules.units import UnitSuffixRule
 
 ALL_RULES: List[Rule] = [
@@ -17,6 +21,10 @@ ALL_RULES: List[Rule] = [
     FloatEqualityRule(),
     UnitSuffixRule(),
     PublicAPIAnnotationsRule(),
+    LayeringRule(),
+    RngStreamRule(),
+    ParitySingleSourceRule(),
+    SuppressionAuditRule(),
 ]
 
 
@@ -29,7 +37,11 @@ __all__ = [
     "DeterminismRule",
     "ErrorHygieneRule",
     "FloatEqualityRule",
+    "LayeringRule",
+    "ParitySingleSourceRule",
     "PublicAPIAnnotationsRule",
+    "RngStreamRule",
+    "SuppressionAuditRule",
     "UnitSuffixRule",
     "rules_by_id",
 ]

@@ -1,0 +1,303 @@
+"""RL007 — RNG-stream discipline for bit-reproducible fleets.
+
+PR 2's fleet determinism rests on a convention the type system cannot
+see: independent sessions get *decorrelated* child streams via
+``repro.rng.spawn_rngs``, never a shared parent generator. Three
+anti-patterns break it silently:
+
+1. **Draw-after-spawn.** ``spawn_rngs(rng, n)`` consumes entropy from
+   ``rng`` to seed the children; drawing from the parent afterwards
+   interleaves the parent stream with the children's seeding, so adding
+   a session shifts every later draw.
+2. **Module-level rng state.** A generator constructed at import time
+   escapes the one-seed-reproduces-everything contract — its stream
+   position depends on import order, not on the experiment seed.
+3. **One rng threaded into sibling constructions.** Passing the same
+   generator into each ``Session(...)``-like object built in a loop or
+   comprehension couples the siblings: their draws interleave in
+   whatever order they later execute. The fix is
+   ``spawn_rngs(seed, n)`` + ``zip``.
+
+The sibling check is deliberately heuristic: it flags only
+capitalized (constructor-like) callees receiving an *outer-bound* bare
+rng name, because threading one stream through sequential lowercase
+calls (``space.sample(rng, k)`` per iteration) is the sanctioned way to
+consume a single stream in order.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from reprolint.engine import FileContext, Rule, Violation
+
+_EXEMPT_FILENAMES = {"rng.py", "conftest.py"}
+
+_FACTORY_NAMES = {"make_rng", "default_rng"}
+_SPAWN_NAMES = {"spawn_rngs"}
+
+
+def _leaf_name(func: ast.expr) -> str:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _is_rng_name(name: str) -> bool:
+    return name == "rng" or name.endswith("_rng")
+
+
+def _assigned_names(node: ast.stmt) -> List[str]:
+    targets: List[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        targets = [node.target]
+    names: List[str] = []
+    for target in targets:
+        if isinstance(target, ast.Name):
+            names.append(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            names.extend(
+                el.id for el in target.elts if isinstance(el, ast.Name)
+            )
+    return names
+
+
+def _contains_rng_construction(node: ast.AST) -> Optional[str]:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            leaf = _leaf_name(child.func)
+            if leaf in _FACTORY_NAMES | _SPAWN_NAMES:
+                return leaf
+    return None
+
+
+class RngStreamRule(Rule):
+    id = "RL007"
+    summary = "spawn_rngs stream discipline: no draw-after-spawn, no shared sibling rngs"
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.filename not in _EXEMPT_FILENAMES
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        seen: Set[Tuple[int, int, str]] = set()
+        for violation in self._check_all(ctx):
+            key = (violation.line, violation.col, violation.message)
+            if key not in seen:
+                seen.add(key)
+                yield violation
+
+    def _check_all(self, ctx: FileContext) -> Iterator[Violation]:
+        yield from self._check_module_state(ctx)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node)
+
+    # -- (2) module-level rng state ------------------------------------
+
+    def _check_module_state(self, ctx: FileContext) -> Iterator[Violation]:
+        for stmt in self._module_level_stmts(ctx.tree.body):
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = stmt.value
+            if value is None:
+                continue
+            leaf = _contains_rng_construction(value)
+            if leaf is not None:
+                yield self.violation(
+                    ctx,
+                    stmt,
+                    f"module-level rng state (`{leaf}(...)` at import time) "
+                    "breaks one-seed reproducibility — construct generators "
+                    "inside the entry point and thread them explicitly",
+                )
+
+    def _module_level_stmts(
+        self, body: List[ast.stmt]
+    ) -> Iterator[ast.stmt]:
+        """Statements executed at import time (descends If/Try/With/class)."""
+        for stmt in body:
+            yield stmt
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for field_name in ("body", "orelse", "finalbody"):
+                yield from self._module_level_stmts(
+                    getattr(stmt, field_name, []) or []
+                )
+            for handler in getattr(stmt, "handlers", []) or []:
+                yield from self._module_level_stmts(handler.body)
+
+    # -- per-function flow checks --------------------------------------
+
+    def _check_function(
+        self, ctx: FileContext, func: ast.AST
+    ) -> Iterator[Violation]:
+        rng_vars: Set[str] = set()
+        args = func.args  # type: ignore[attr-defined]
+        for arg in (
+            args.posonlyargs + args.args + args.kwonlyargs
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            if _is_rng_name(arg.arg):
+                rng_vars.add(arg.arg)
+
+        body: List[ast.stmt] = func.body  # type: ignore[attr-defined]
+        # First sweep: name bindings from make_rng assignments.
+        for node in self._own_walk(body):
+            if isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Call
+            ):
+                if _leaf_name(node.value.func) in _FACTORY_NAMES:
+                    rng_vars.update(_assigned_names(node))
+
+        yield from self._check_draw_after_spawn(ctx, body, rng_vars)
+        yield from self._check_sibling_threading(ctx, body, rng_vars)
+
+    def _own_walk(self, body: List[ast.stmt]) -> Iterator[ast.AST]:
+        """Walk a function body without descending into nested functions."""
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield stmt
+            yield from self._pruned(stmt)
+
+    def _pruned(self, node: ast.AST) -> Iterator[ast.AST]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield child
+            yield from self._pruned(child)
+
+    # -- (1) draw-after-spawn ------------------------------------------
+
+    def _check_draw_after_spawn(
+        self, ctx: FileContext, body: List[ast.stmt], rng_vars: Set[str]
+    ) -> Iterator[Violation]:
+        spawned: dict = {}  # name -> spawn line
+        rebinds: dict = {}  # name -> list of rebind lines
+        calls: List[ast.Call] = []
+        for node in self._own_walk(body):
+            if isinstance(node, ast.Call):
+                calls.append(node)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                for name in _assigned_names(node):
+                    rebinds.setdefault(name, []).append(node.lineno)
+        for call in calls:
+            if _leaf_name(call.func) in _SPAWN_NAMES and call.args:
+                first = call.args[0]
+                if isinstance(first, ast.Name) and first.id in rng_vars:
+                    line = spawned.get(first.id)
+                    if line is None or call.lineno < line:
+                        spawned[first.id] = call.lineno
+        if not spawned:
+            return
+        for call in sorted(calls, key=lambda c: c.lineno):
+            name: Optional[str] = None
+            is_respawn = False
+            if isinstance(call.func, ast.Attribute) and isinstance(
+                call.func.value, ast.Name
+            ):
+                name = call.func.value.id
+            elif (
+                _leaf_name(call.func) in _SPAWN_NAMES
+                and call.args
+                and isinstance(call.args[0], ast.Name)
+            ):
+                name = call.args[0].id
+                is_respawn = True
+            if name is None or name not in spawned:
+                continue
+            spawn_line = spawned[name]
+            if call.lineno <= spawn_line:
+                continue
+            if any(
+                spawn_line < r <= call.lineno
+                for r in rebinds.get(name, ())
+            ):
+                continue
+            what = (
+                "passed to spawn_rngs again"
+                if is_respawn
+                else f"drawn from (`.{_leaf_name(call.func)}`)"
+            )
+            yield self.violation(
+                ctx,
+                call,
+                f"rng `{name}` is {what} after spawn_rngs consumed it "
+                f"(line {spawn_line}) — use the spawned child streams instead",
+            )
+
+    # -- (3) one rng threaded into sibling constructions ---------------
+
+    def _check_sibling_threading(
+        self, ctx: FileContext, body: List[ast.stmt], rng_vars: Set[str]
+    ) -> Iterator[Violation]:
+        for node in self._own_walk(body):
+            if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                bound = self._loop_bound_names(node)
+                outer = rng_vars - bound
+                if outer:
+                    yield from self._flag_ctor_args(ctx, node.body, outer)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+            ):
+                bound = set()
+                for gen in node.generators:
+                    bound.update(
+                        n.id
+                        for n in ast.walk(gen.target)
+                        if isinstance(n, ast.Name)
+                    )
+                outer = rng_vars - bound
+                if outer:
+                    elts = (
+                        [node.key, node.value]
+                        if isinstance(node, ast.DictComp)
+                        else [node.elt]
+                    )
+                    yield from self._flag_ctor_args(ctx, elts, outer)
+
+    def _loop_bound_names(self, loop: ast.AST) -> Set[str]:
+        bound: Set[str] = set()
+        target = getattr(loop, "target", None)
+        if target is not None:
+            bound.update(
+                n.id for n in ast.walk(target) if isinstance(n, ast.Name)
+            )
+        for stmt in ast.walk(loop):
+            if isinstance(stmt, ast.stmt):
+                bound.update(_assigned_names(stmt))
+        return bound
+
+    def _flag_ctor_args(
+        self,
+        ctx: FileContext,
+        nodes: List[ast.AST],
+        outer_rngs: Set[str],
+    ) -> Iterator[Violation]:
+        for root in nodes:
+            for node in ast.walk(root):
+                if not isinstance(node, ast.Call):
+                    continue
+                leaf = _leaf_name(node.func)
+                if not leaf or not leaf[0].isupper():
+                    continue
+                passed = [
+                    arg.id
+                    for arg in list(node.args)
+                    + [kw.value for kw in node.keywords]
+                    if isinstance(arg, ast.Name) and arg.id in outer_rngs
+                ]
+                for name in passed:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"rng `{name}` is threaded into sibling `{leaf}(...)` "
+                        "constructions — spawn decorrelated child streams "
+                        "with spawn_rngs and zip them instead",
+                    )

@@ -1,0 +1,116 @@
+"""RL009 — stale-suppression audit: every directive must earn its keep.
+
+A ``# reprolint: disable=...`` comment is a standing exception to repo
+policy. When the code under it is later fixed or deleted, the directive
+survives as an invisible hole: the next violation on that line is
+silenced with no reviewer ever approving it. This audit closes the loop
+— after all passes run, any directive that suppressed nothing is itself
+a violation, as is any directive naming a rule id that does not exist
+(usually a typo that has never suppressed anything).
+
+Semantics:
+
+- A directive is *stale* only when every rule id it names (or, for
+  ``disable=all``, the whole registry) was actually evaluated in this
+  run and none of its codes silenced a violation. Running with
+  ``--select`` therefore never produces false staleness for rules that
+  were skipped.
+- A directive naming several codes is not stale if *any* of them fired;
+  unknown ids inside it are still reported individually.
+- RL009 violations may themselves be suppressed — but not by the very
+  directive being audited.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Set
+
+from reprolint.engine import Rule, Suppressions, Violation
+
+
+class SuppressionAuditRule(Rule):
+    """Registry entry for RL009 (listing/selection); the engine drives it."""
+
+    id = "RL009"
+    summary = "suppression directives that silence nothing are violations"
+    scope = "audit"
+
+
+def _suppressed_by_other(
+    suppressions: Suppressions, own_index: int, line: int
+) -> bool:
+    for idx, directive in enumerate(suppressions.directives):
+        if idx == own_index:
+            continue
+        if "ALL" not in directive.codes and "RL009" not in directive.codes:
+            continue
+        if directive.kind == "disable-file" or line in directive.covers:
+            return True
+    return False
+
+
+def audit_suppressions(
+    path: Path,
+    suppressions: Suppressions,
+    used: Iterable[int],
+    evaluated_ids: Set[str],
+) -> List[Violation]:
+    """Flag unused and unknown-id directives for one file.
+
+    ``evaluated_ids`` is the set of rule ids that had a chance to fire on
+    this file in this run (active per-file rules plus, when the project
+    pass ran, active project rules). A directive is auditable only when
+    everything it names was evaluated.
+    """
+    from reprolint.rules import rules_by_id
+
+    known = set(rules_by_id())
+    used_set = set(used)
+    violations: List[Violation] = []
+    for idx, directive in enumerate(suppressions.directives):
+        unknown = sorted(
+            code
+            for code in directive.codes
+            if code != "ALL" and code not in known
+        )
+        for code in unknown:
+            if not _suppressed_by_other(suppressions, idx, directive.line):
+                violations.append(
+                    Violation(
+                        path=path,
+                        line=directive.line,
+                        col=0,
+                        rule_id="RL009",
+                        message=(
+                            f"suppression references unknown rule id `{code}`"
+                            " — fix the typo or remove it"
+                        ),
+                    )
+                )
+        if idx in used_set:
+            continue
+        if "ALL" in directive.codes:
+            auditable_codes = known - {"RL009"}
+        else:
+            auditable_codes = set(directive.codes) - set(unknown)
+        if not auditable_codes or not auditable_codes <= evaluated_ids:
+            continue
+        if _suppressed_by_other(suppressions, idx, directive.line):
+            continue
+        spelled = ",".join(sorted(directive.codes)).lower() if (
+            "ALL" in directive.codes
+        ) else ",".join(sorted(directive.codes))
+        violations.append(
+            Violation(
+                path=path,
+                line=directive.line,
+                col=0,
+                rule_id="RL009",
+                message=(
+                    f"stale suppression `# reprolint: {directive.kind}="
+                    f"{spelled}` matches no violation — remove it"
+                ),
+            )
+        )
+    return violations

@@ -1,0 +1,108 @@
+"""SARIF 2.1.0 emitter for GitHub code-scanning annotations.
+
+Produces the minimal valid document: one run, a ``tool.driver`` carrying
+the rule catalog (including the synthetic E901/E902 engine errors so
+every result's ``ruleId`` resolves), and one ``result`` per violation
+with a ``physicalLocation``. Paths are emitted repo-relative with POSIX
+separators as SARIF requires of ``artifactLocation.uri``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from reprolint.engine import Rule, Violation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_ENGINE_RULES = {
+    "E901": "file could not be parsed (syntax error)",
+    "E902": "file could not be read",
+}
+
+
+def _relative_uri(path: Path, root: Path) -> str:
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        rel = path
+    return rel.as_posix()
+
+
+def to_sarif(
+    violations: Sequence[Violation],
+    rules: Sequence[Rule],
+    root: Path,
+) -> Dict[str, object]:
+    catalog: List[Dict[str, object]] = [
+        {
+            "id": rule.id,
+            "name": type(rule).__name__,
+            "shortDescription": {"text": rule.summary},
+        }
+        for rule in rules
+    ]
+    known = {rule.id for rule in rules}
+    for rule_id, text in _ENGINE_RULES.items():
+        if rule_id not in known:
+            catalog.append(
+                {"id": rule_id, "shortDescription": {"text": text}}
+            )
+    index = {entry["id"]: i for i, entry in enumerate(catalog)}
+    results: List[Dict[str, object]] = []
+    for violation in violations:
+        result: Dict[str, object] = {
+            "ruleId": violation.rule_id,
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _relative_uri(violation.path, root)
+                        },
+                        "region": {
+                            "startLine": max(1, violation.line),
+                            "startColumn": max(1, violation.col + 1),
+                        },
+                    }
+                }
+            ],
+        }
+        if violation.rule_id in index:
+            result["ruleIndex"] = index[violation.rule_id]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "version": "2.0.0",
+                        "rules": catalog,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(
+    out_path: Path,
+    violations: Sequence[Violation],
+    rules: Sequence[Rule],
+    root: Path,
+) -> None:
+    document = to_sarif(violations, rules, root)
+    out_path.write_text(
+        json.dumps(document, indent=2) + "\n", encoding="utf-8"
+    )
