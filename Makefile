@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: reprolint ruff mypy lint test fleet-smoke trace-smoke edge-smoke bench bench-smoke check
+.PHONY: reprolint ruff mypy lint test fleet-smoke trace-smoke edge-smoke edge-topology-smoke bench bench-smoke check
 
 reprolint:
 	PYTHONPATH=tools $(PYTHON) -m reprolint src benchmarks examples \
@@ -52,6 +52,17 @@ edge-smoke:
 	cmp /tmp/repro-edge-smoke-a.txt /tmp/repro-edge-smoke-b.txt
 	@echo "edge-smoke: 16-session --edge fleet is bit-reproducible"
 
+# Multi-server topology smoke: a 16-session fleet placed across FOUR edge
+# servers (admission + shedding live) must be bit-reproducible — run it
+# twice at seed 2024 and byte-compare.
+edge-topology-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro fleet --edge-servers 4 --sessions 16 \
+		--seed 2024 --initial 2 --iterations 3 > /tmp/repro-edge-topo-smoke-a.txt
+	PYTHONPATH=src $(PYTHON) -m repro fleet --edge-servers 4 --sessions 16 \
+		--seed 2024 --initial 2 --iterations 3 > /tmp/repro-edge-topo-smoke-b.txt
+	cmp /tmp/repro-edge-topo-smoke-a.txt /tmp/repro-edge-topo-smoke-b.txt
+	@echo "edge-topology-smoke: 4-server topology fleet is bit-reproducible"
+
 # Time the hot kernels and distill the scalar-vs-batched backend numbers
 # into the committed BENCH_pr4.json (see docs/performance.md).
 bench:
@@ -59,6 +70,7 @@ bench:
 		--benchmark-only --benchmark-json=/tmp/repro-bench-pr4.json
 	$(PYTHON) tools/bench_pr4.py /tmp/repro-bench-pr4.json BENCH_pr4.json
 	PYTHONPATH=src $(PYTHON) tools/bench_pr5.py BENCH_pr5.json
+	PYTHONPATH=src $(PYTHON) tools/bench_pr7.py BENCH_pr7.json
 
 # Run every microbench body once, untimed: catches API drift in the bench
 # suite without paying for calibration rounds.
@@ -66,4 +78,4 @@ bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_microbench.py -q \
 		--benchmark-disable
 
-check: lint test fleet-smoke trace-smoke edge-smoke bench-smoke
+check: lint test fleet-smoke trace-smoke edge-smoke edge-topology-smoke bench-smoke

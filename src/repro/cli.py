@@ -71,6 +71,9 @@ _EXPERIMENTS = {
     "edge": lambda seed, cfg: edge_exp.render(
         edge_exp.run_edge_experiment(seed=seed)
     ),
+    "saturation": lambda seed, cfg: edge_exp.render_saturation(
+        edge_exp.run_saturation_study(seed=seed, config=cfg)
+    ),
 }
 
 
@@ -117,6 +120,14 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--edge", action="store_true",
                        help="offload to one shared edge server all "
                             "sessions contend on")
+    fleet.add_argument("--edge-servers", type=int, metavar="N", default=1,
+                       help="offload through an N-server edge topology "
+                            "with placement and admission control "
+                            "(N=1 with --edge keeps the legacy singleton)")
+    fleet.add_argument("--placement",
+                       choices=("nearest", "least-loaded", "price-aware"),
+                       default="price-aware",
+                       help="topology placement policy (with --edge-servers)")
     fleet.add_argument("--export", metavar="PATH", default=None,
                        help="write the fleet trace as JSON")
     fleet.add_argument("--store", metavar="PATH", default=None,
@@ -200,7 +211,15 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 def _cmd_fleet(args: argparse.Namespace) -> int:
     config = HBOConfig(n_initial=args.initial, n_iterations=args.iterations)
     edge_config = None
-    if args.edge:
+    topology = None
+    if args.edge_servers < 1:
+        raise SystemExit("--edge-servers must be >= 1")
+    if args.edge_servers > 1:
+        from repro.edge.topology import default_topology
+
+        topology = default_topology(args.edge_servers)
+    elif args.edge:
+        # The legacy singleton path: byte-identical to PR 5 output.
         from repro.edge.runtime import EdgeConfig
 
         edge_config = EdgeConfig()
@@ -210,6 +229,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         n_sessions=args.sessions,
         warm_start=not args.cold,
         edge=edge_config,
+        topology=topology,
+        placement=args.placement,
     )
     print(fleet_exp.render(experiment))
     if args.export:

@@ -19,9 +19,37 @@ Modules:
   processor-sharing queue fleet sessions contend on.
 - :mod:`repro.edge.runtime` — :class:`EdgeRuntime`, the per-session
   handle (server tenancy + link trace + taskset extension).
+- :mod:`repro.edge.admission` — capacity-threshold admission control
+  and newest-first shedding for saturated servers.
+- :mod:`repro.edge.topology` — :class:`EdgeTopology`, N heterogeneous
+  nodes with per-node links, outages, and the session assignment table.
+- :mod:`repro.edge.placement` — deterministic placement policies
+  (``nearest``, ``least-loaded``, ``price-aware``) and hysteresis-bounded
+  migration candidates.
 """
 
+from repro.edge.admission import (
+    OPEN_ADMISSION,
+    AdmissionConfig,
+    AdmissionDecision,
+)
 from repro.edge.link import LinkConfig, NetworkLink, WirelessLink
+from repro.edge.placement import (
+    PLACEMENT_POLICIES,
+    PlacementOutcome,
+    PlacementRequest,
+    migration_candidate,
+    place,
+    resolve_policy,
+)
+from repro.edge.topology import (
+    EdgeNode,
+    EdgeNodeConfig,
+    EdgeTopology,
+    EdgeTopologyConfig,
+    MigrationConfig,
+    default_topology,
+)
 from repro.edge.runtime import (
     EdgeConfig,
     EdgeRuntime,
@@ -41,15 +69,27 @@ from repro.edge.share import (
 )
 
 __all__ = [
+    "AdmissionConfig",
+    "AdmissionDecision",
     "EdgeConfig",
+    "EdgeNode",
+    "EdgeNodeConfig",
     "EdgeRuntime",
     "EdgeServer",
     "EdgeServerConfig",
     "EdgeShare",
+    "EdgeTopology",
+    "EdgeTopologyConfig",
     "LinkConfig",
+    "MigrationConfig",
     "NetworkLink",
+    "OPEN_ADMISSION",
+    "PLACEMENT_POLICIES",
+    "PlacementOutcome",
+    "PlacementRequest",
     "WirelessLink",
     "build_edge_runtime",
+    "default_topology",
     "edge_compute_ms",
     "edge_demand",
     "edge_payload_bytes",
@@ -57,5 +97,8 @@ __all__ = [
     "edge_tx_ms",
     "extend_profile",
     "extend_taskset",
+    "migration_candidate",
     "nominal_share",
+    "place",
+    "resolve_policy",
 ]

@@ -1,0 +1,154 @@
+"""Admission control for edge servers: capacity thresholds and shedding.
+
+A serving fleet cannot grant every arriving session a tenancy — a
+saturated server slows *everyone* super-linearly (the processor-sharing
+power law in :func:`repro.edge.share.sharing_slowdown`), so past a
+utilization threshold it is strictly better to run the newcomer's tasks
+on-device than to admit it and drag the whole tenant set over capacity.
+This module holds the pure decision arithmetic; it knows nothing about
+topologies or sessions, so :mod:`repro.edge.topology` can import it
+without a cycle and the fleet scheduler can unit-test the policy with
+bare floats.
+
+Two thresholds, deliberately split for hysteresis:
+
+- ``admit_utilization`` — a new tenant is admitted only while the
+  server's projected utilization (current + estimated incoming demand,
+  over capacity) stays at or below this bound.
+- ``shed_utilization`` — once a server's *live* utilization exceeds this
+  (admitted tenants ramped up more demand than estimated, or capacity
+  effectively shrank), the newest tenants are shed back to their devices
+  until utilization re-enters the admit band. ``shed > admit`` keeps the
+  two decisions from flapping against each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import EdgeError
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Capacity-threshold admission policy of one edge server.
+
+    With ``enabled=False`` every request is admitted and nothing is ever
+    shed — the PR 5 behavior, and what a 1-server topology uses to stay
+    byte-identical to the singleton edge server.
+    """
+
+    enabled: bool = True
+    #: Admit while (total + estimated) / capacity <= this.
+    admit_utilization: float = 1.0
+    #: Shed newest tenants once live total / capacity exceeds this.
+    shed_utilization: float = 1.5
+    #: Fraction of a session's total CPU-stream demand assumed to land on
+    #: the server when estimating an arrival's footprint (sessions rarely
+    #: offload their whole taskset).
+    est_offload_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.admit_utilization <= 0:
+            raise EdgeError(
+                f"admit_utilization must be > 0, got {self.admit_utilization}"
+            )
+        if self.shed_utilization < self.admit_utilization:
+            raise EdgeError(
+                "shed_utilization must be >= admit_utilization, got "
+                f"{self.shed_utilization} < {self.admit_utilization}"
+            )
+        if not 0.0 <= self.est_offload_fraction <= 1.0:
+            raise EdgeError(
+                "est_offload_fraction must be in [0, 1], got "
+                f"{self.est_offload_fraction}"
+            )
+
+
+#: Admission policy that never rejects or sheds (PR 5 semantics).
+OPEN_ADMISSION = AdmissionConfig(enabled=False)
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission request against one server."""
+
+    admitted: bool
+    server: str
+    utilization: float  # projected utilization the decision was based on
+    reason: str  # "" when admitted
+
+
+def utilization(total_streams: float, capacity_streams: float) -> float:
+    """Live load of a server as a fraction of its stream capacity."""
+    if capacity_streams <= 0:
+        raise EdgeError(f"capacity_streams must be > 0, got {capacity_streams}")
+    return total_streams / capacity_streams
+
+
+def decide(
+    config: AdmissionConfig,
+    server: str,
+    total_streams: float,
+    est_streams: float,
+    capacity_streams: float,
+) -> AdmissionDecision:
+    """Admit or reject one arrival against one server's live state.
+
+    ``est_streams`` is the arrival's *full* offloadable demand (every
+    CPU-capable task offloaded at once); the config's
+    ``est_offload_fraction`` scales it down to the expected footprint
+    before the threshold comparison.
+    """
+    if est_streams < 0:
+        raise EdgeError(f"est_streams must be >= 0, got {est_streams}")
+    projected = utilization(
+        total_streams + config.est_offload_fraction * est_streams,
+        capacity_streams,
+    )
+    if not config.enabled or projected <= config.admit_utilization:
+        return AdmissionDecision(
+            admitted=True, server=server, utilization=projected, reason=""
+        )
+    return AdmissionDecision(
+        admitted=False,
+        server=server,
+        utilization=projected,
+        reason=(
+            f"projected utilization {projected:.3f} exceeds admit "
+            f"threshold {config.admit_utilization:g}"
+        ),
+    )
+
+
+def shed_plan(
+    config: AdmissionConfig,
+    tenants: Sequence[Tuple[str, float]],
+    capacity_streams: float,
+) -> Tuple[str, ...]:
+    """Which tenants a saturated server should shed, newest first.
+
+    ``tenants`` is the server's (tenant_id, demand) pairs in registration
+    order. Returns the ids to evict — the most recent arrivals, peeled
+    off until live utilization drops back to ``admit_utilization`` — or
+    an empty tuple when the server is not past ``shed_utilization`` (or
+    admission is disabled). Shedding newest-first keeps the longest-held
+    tenancies stable, so one overload episode cannot churn the whole
+    server.
+    """
+    if not config.enabled:
+        return ()
+    total = 0.0
+    for _tenant, demand in tenants:
+        total += demand
+    if utilization(total, capacity_streams) <= config.shed_utilization:
+        return ()
+    shed = []
+    remaining = total
+    for tenant_id, demand in reversed(tenants):
+        if utilization(remaining, capacity_streams) <= config.admit_utilization:
+            break
+        shed.append(tenant_id)
+        remaining -= demand
+    return tuple(shed)

@@ -1,0 +1,226 @@
+"""Deterministic placement policies over an edge topology.
+
+Given one arriving session and the live :class:`~repro.edge.topology.
+EdgeTopology`, a policy produces a preference order over nodes;
+:func:`place` walks that order and lands the session on the first node
+whose admission control says yes. Three policies ship:
+
+- ``nearest`` — rank by |node.distance − request.position|; the classic
+  latency-proxy heuristic that ignores load entirely.
+- ``least-loaded`` — rank by live utilization; the classic load proxy
+  that ignores link quality entirely.
+- ``price-aware`` — rank by what the offload would actually cost,
+  through :func:`repro.edge.share.offload_price_ms`. Because the
+  ranking arithmetic is the same helper the contention model and the
+  vectorized backend charge with, a price-aware decision can never
+  disagree with the latency the session subsequently observes (modulo
+  drift), and scalar/backend parity extends to N servers for free.
+
+Every policy is a pure function of (topology state, request) — no
+randomness — so placement sequences are reproducible from (seed,
+arrival order, topology config) alone, a property the Hypothesis suite
+pins down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.device.profiles import StaticProfile
+from repro.edge.admission import AdmissionDecision
+from repro.edge.share import offload_price_ms
+from repro.edge.topology import EdgeNode, EdgeTopology
+from repro.errors import EdgeError
+
+
+@dataclass(frozen=True)
+class PlacementRequest:
+    """One session asking the topology for a server."""
+
+    session_id: str
+    #: Estimated stream demand the session would place on a server.
+    est_streams: float
+    #: The session's 1-D position, compared against node distances.
+    position: float = 0.0
+    #: Representative profile for price-aware ranking (typically the
+    #: heaviest CPU-demand task in the session's taskset).
+    profile: Optional[StaticProfile] = None
+
+    def __post_init__(self) -> None:
+        if self.est_streams < 0:
+            raise EdgeError(
+                f"est_streams must be >= 0, got {self.est_streams}"
+            )
+
+
+@dataclass(frozen=True)
+class PlacementOutcome:
+    """Where (whether) a session landed, with the full rejection trail."""
+
+    session_id: str
+    policy: str
+    #: Node name, or None when every node rejected (device fallback).
+    node: Optional[str]
+    rejections: Tuple[AdmissionDecision, ...] = ()
+
+    @property
+    def admitted(self) -> bool:
+        return self.node is not None
+
+
+PlacementPolicy = Callable[
+    [EdgeTopology, PlacementRequest], Sequence[EdgeNode]
+]
+
+
+def _serving_nodes(topology: EdgeTopology) -> Tuple[EdgeNode, ...]:
+    """Nodes a policy may rank: config order, outages excluded."""
+    return tuple(node for node in topology.nodes if not node.in_outage)
+
+
+def nearest_policy(
+    topology: EdgeTopology, request: PlacementRequest
+) -> Tuple[EdgeNode, ...]:
+    """Closest node first; config order breaks distance ties."""
+    nodes = _serving_nodes(topology)
+    order = sorted(
+        range(len(nodes)),
+        key=lambda i: (abs(nodes[i].config.distance - request.position), i),
+    )
+    return tuple(nodes[i] for i in order)
+
+
+def least_loaded_policy(
+    topology: EdgeTopology, request: PlacementRequest
+) -> Tuple[EdgeNode, ...]:
+    """Emptiest node first; config order breaks utilization ties."""
+    nodes = _serving_nodes(topology)
+    order = sorted(
+        range(len(nodes)), key=lambda i: (nodes[i].utilization, i)
+    )
+    return tuple(nodes[i] for i in order)
+
+
+def node_offload_price_ms(
+    node: EdgeNode, profile: StaticProfile, est_streams: float
+) -> float:
+    """What ``profile`` would cost on ``node`` if it joined right now.
+
+    Prices at the node's live total demand plus the arrival's estimate,
+    through the same :func:`~repro.edge.share.offload_price_ms` helper
+    the contention model charges with.
+    """
+    share = node.pricing_share(extern_streams=node.server.total_streams)
+    return offload_price_ms(
+        profile, share, node.server.total_streams + est_streams
+    )
+
+
+def price_aware_policy(
+    topology: EdgeTopology, request: PlacementRequest
+) -> Tuple[EdgeNode, ...]:
+    """Cheapest projected offload first; config order breaks price ties."""
+    if request.profile is None:
+        raise EdgeError(
+            "price-aware placement needs a representative profile on the "
+            f"request (session {request.session_id!r})"
+        )
+    nodes = _serving_nodes(topology)
+    order = sorted(
+        range(len(nodes)),
+        key=lambda i: (
+            node_offload_price_ms(
+                nodes[i], request.profile, request.est_streams
+            ),
+            i,
+        ),
+    )
+    return tuple(nodes[i] for i in order)
+
+
+PLACEMENT_POLICIES: Dict[str, PlacementPolicy] = {
+    "nearest": nearest_policy,
+    "least-loaded": least_loaded_policy,
+    "price-aware": price_aware_policy,
+}
+
+
+def resolve_policy(name: str) -> PlacementPolicy:
+    if name not in PLACEMENT_POLICIES:
+        raise EdgeError(
+            f"unknown placement policy {name!r}; "
+            f"choose from {sorted(PLACEMENT_POLICIES)}"
+        )
+    return PLACEMENT_POLICIES[name]
+
+
+def place(
+    topology: EdgeTopology, request: PlacementRequest, policy: str
+) -> PlacementOutcome:
+    """Run one placement decision: rank, then admit down the ranking.
+
+    Does NOT attach the session — the caller owns link construction and
+    the attach call, so deciding and executing stay separable (the
+    Hypothesis determinism property replays decisions without links).
+    """
+    ranked = resolve_policy(policy)(topology, request)
+    rejections = []
+    for node in ranked:
+        decision = topology.admit(node.name, request.est_streams)
+        if decision.admitted:
+            return PlacementOutcome(
+                session_id=request.session_id,
+                policy=policy,
+                node=node.name,
+                rejections=tuple(rejections),
+            )
+        rejections.append(decision)
+    return PlacementOutcome(
+        session_id=request.session_id,
+        policy=policy,
+        node=None,
+        rejections=tuple(rejections),
+    )
+
+
+def migration_candidate(
+    topology: EdgeTopology,
+    session_id: str,
+    profile: StaticProfile,
+    est_streams: float,
+) -> Optional[str]:
+    """A strictly-cheaper node to migrate ``session_id`` to, or None.
+
+    Prices the current node at its live state (the session's demand
+    already counted) and every alternative as a fresh arrival, then
+    applies the topology's hysteresis margin: a candidate must beat the
+    current price by the configured fraction AND pass admission. Dwell
+    accounting is the scheduler's job — this function is stateless.
+    """
+    current_name = topology.assignment_of(session_id)
+    if current_name is None:
+        return None
+    migration = topology.config.migration
+    if not migration.enabled:
+        return None
+    current = topology.node(current_name)
+    current_price = offload_price_ms(
+        profile,
+        current.pricing_share(
+            extern_streams=current.server.extern_streams(session_id)
+        ),
+        current.server.total_streams,
+    )
+    best_name: Optional[str] = None
+    best_price = current_price * (1.0 - migration.hysteresis)
+    for node in _serving_nodes(topology):
+        if node.name == current_name:
+            continue
+        price = node_offload_price_ms(node, profile, est_streams)
+        if price < best_price and topology.admit(
+            node.name, est_streams
+        ).admitted:
+            best_name = node.name
+            best_price = price
+    return best_name

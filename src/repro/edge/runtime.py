@@ -95,13 +95,18 @@ class EdgeRuntime:
         server: EdgeServer,
         link: WirelessLink,
         session_id: str = "session",
+        register: bool = True,
     ) -> None:
         self.config = config
         self.server = server
         self.link = link
         self.session_id = session_id
         self._released = False
-        server.register(session_id)
+        # A topology registers the tenancy itself (EdgeTopology.attach);
+        # pass register=False there so the runtime adopts the existing
+        # registration instead of raising on the duplicate.
+        if register:
+            server.register(session_id)
 
     def set_demand_streams(self, streams: float) -> None:
         """Publish this session's offloaded stream demand to the server."""
@@ -143,11 +148,42 @@ class EdgeRuntime:
                 edge_queue_ms(profile, share, slow)
             )
 
+    def migrate(
+        self, config: EdgeConfig, server: EdgeServer, link: WirelessLink
+    ) -> None:
+        """Rebind this runtime to another server and link mid-session.
+
+        The caller (the fleet scheduler, via :class:`~repro.edge.topology.
+        EdgeTopology`) has already released the old tenancy and registered
+        the session on ``server``; this swaps the references the device
+        simulator prices through, so the very next :meth:`share` snapshot
+        reflects the new node. The taskset's nominal ``EDGE`` latency rows
+        keep their admission-time values — they only seed Algorithm 1's
+        ranking; pricing always reads the live snapshot.
+        """
+        if self._released:
+            raise EdgeError(
+                f"edge runtime for {self.session_id!r} was already released"
+            )
+        self.config = config
+        self.server = server
+        self.link = link
+
     def release(self) -> None:
         """Leave the server (a finished fleet session stops contending)."""
         if not self._released:
             self.server.release(self.session_id)
             self._released = True
+
+    def abandon(self) -> None:
+        """Mark the runtime released without touching the server.
+
+        Used when an :class:`~repro.edge.topology.EdgeTopology` already
+        detached the tenancy on the session's behalf — calling
+        :meth:`release` afterwards would double-release and raise
+        :class:`~repro.errors.UnknownTenantError`.
+        """
+        self._released = True
 
 
 def build_edge_runtime(

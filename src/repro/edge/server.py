@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.edge.share import sharing_slowdown
-from repro.errors import EdgeError
+from repro.errors import EdgeError, UnknownTenantError
 
 
 @dataclass(frozen=True)
@@ -65,15 +65,21 @@ class EdgeServer:
         self._demand_streams[tenant_id] = 0.0
 
     def release(self, tenant_id: str) -> None:
-        """Leave the server, dropping any published demand."""
+        """Leave the server, dropping any published demand.
+
+        Raises :class:`~repro.errors.UnknownTenantError` for ids that are
+        not registered — including a second release of the same id — so a
+        stale session handle fails loudly instead of silently corrupting
+        another tenant's demand accounting.
+        """
         if tenant_id not in self._demand_streams:
-            raise EdgeError(f"unknown tenant {tenant_id!r}")
+            raise UnknownTenantError(tenant_id, self.config.name, "release")
         del self._demand_streams[tenant_id]
 
     def set_demand(self, tenant_id: str, streams: float) -> None:
         """Publish the tenant's current offloaded stream demand."""
         if tenant_id not in self._demand_streams:
-            raise EdgeError(f"unknown tenant {tenant_id!r}")
+            raise UnknownTenantError(tenant_id, self.config.name, "set_demand")
         if streams < 0:
             raise EdgeError(
                 f"demand must be >= 0 streams, got {streams} "
@@ -83,7 +89,7 @@ class EdgeServer:
 
     def demand_of(self, tenant_id: str) -> float:
         if tenant_id not in self._demand_streams:
-            raise EdgeError(f"unknown tenant {tenant_id!r}")
+            raise UnknownTenantError(tenant_id, self.config.name, "demand_of")
         return self._demand_streams[tenant_id]
 
     @property
@@ -102,7 +108,9 @@ class EdgeServer:
         to float associativity, not just approximately.
         """
         if tenant_id not in self._demand_streams:
-            raise EdgeError(f"unknown tenant {tenant_id!r}")
+            raise UnknownTenantError(
+                tenant_id, self.config.name, "extern_streams"
+            )
         extern = 0.0
         for other, streams in self._demand_streams.items():
             if other != tenant_id:

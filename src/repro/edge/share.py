@@ -133,3 +133,18 @@ def edge_queue_ms(
 ) -> Ms:
     """Queueing excess over isolation compute at a given slowdown."""
     return edge_compute_ms(profile, share) * (slowdown - 1.0)
+
+
+def offload_price_ms(
+    profile: StaticProfile, share: EdgeShare, streams: float
+) -> Ms:
+    """What one offloaded inference would cost at ``streams`` total demand.
+
+    The composition the placement and migration policies rank candidate
+    servers by: transfer at the snapshot's link state plus server compute
+    under the processor-sharing slowdown the given total demand implies.
+    Lives here — not in the placement policy — so candidate pricing can
+    never drift from what the contention model and the backend actually
+    charge once the session lands.
+    """
+    return edge_total_ms(profile, share, edge_slowdown(streams, share))

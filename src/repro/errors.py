@@ -77,6 +77,22 @@ class EdgeError(ReproError):
     offloaded without an edge runtime, invalid link/server parameters)."""
 
 
+class UnknownTenantError(EdgeError):
+    """A tenant id was presented to an edge server or topology that does
+    not currently hold it — a demand update or release for a session that
+    never registered, or a double release. Carries the tenant id and the
+    server name so a fleet-sized trace pinpoints the stale handle."""
+
+    def __init__(self, tenant_id: str, server: str, operation: str) -> None:
+        super().__init__(
+            f"{operation}: tenant {tenant_id!r} is not registered on "
+            f"server {server!r} (released twice, or never admitted?)"
+        )
+        self.tenant_id = tenant_id
+        self.server = server
+        self.operation = operation
+
+
 class ObservabilityError(ReproError):
     """A tracing or metrics request was invalid (malformed metric name,
     mismatched histogram buckets, unbalanced span close, a trace file

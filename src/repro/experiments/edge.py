@@ -26,12 +26,23 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.controller import HBOConfig
 from repro.core.frontier import FrontierEvaluator, FrontierResult
 from repro.device.profiles import GALAXY_S22
+from repro.edge.admission import OPEN_ADMISSION, AdmissionConfig
+from repro.edge.link import LinkConfig
 from repro.edge.runtime import EdgeConfig, build_edge_runtime
+from repro.edge.server import EdgeServerConfig
+from repro.edge.topology import (
+    EdgeNodeConfig,
+    EdgeTopologyConfig,
+    MigrationConfig,
+)
 from repro.errors import ExperimentError
 from repro.experiments.common import DEFAULT_SEED
 from repro.experiments.report import format_kv, format_table
+from repro.fleet.scheduler import FleetConfig, FleetResult, FleetScheduler
+from repro.fleet.session import SessionSpec
 from repro.rng import derive_seed
 from repro.sim.scenarios import (
     NETWORK_DRIFT_SCHEDULE,
@@ -242,6 +253,150 @@ def render(result: EdgeExperimentResult) -> str:
         ),
     ]
     return "\n\n".join(blocks)
+
+
+def saturation_topology(
+    n_servers: int = 2,
+    capacity_streams: float = 2.5,
+    queue_exponent: float = 2.5,
+    admission: Optional[AdmissionConfig] = None,
+) -> EdgeTopologyConfig:
+    """A deliberately undersized topology for the saturation study.
+
+    Every node keeps the default speedup but only ``capacity_streams``
+    of processor-sharing headroom, and oversubscription thrashes — the
+    ``queue_exponent`` is convex enough that running 3× over capacity is
+    strictly worse than staying on-device — so a flash crowd
+    oversubscribes it within a few arrivals. Migration is off: the study
+    isolates admission control + shedding from migration effects.
+    """
+    if n_servers < 1:
+        raise ExperimentError(f"n_servers must be >= 1, got {n_servers}")
+    nodes = tuple(
+        EdgeNodeConfig(
+            server=EdgeServerConfig(
+                capacity_streams=capacity_streams,
+                queue_exponent=queue_exponent,
+                name=f"edge-{i}",
+            ),
+            link=LinkConfig(rtt_ms=LinkConfig().rtt_ms + 2.0 * i),
+            admission=admission if admission is not None else AdmissionConfig(),
+            distance=10.0 * i,
+        )
+        for i in range(n_servers)
+    )
+    return EdgeTopologyConfig(nodes=nodes, migration=MigrationConfig(enabled=False))
+
+
+def flash_crowd_specs(
+    n_sessions: int, seed: int = DEFAULT_SEED, gap_s: float = 0.5
+) -> List[SessionSpec]:
+    """A homogeneous arrival wave on the heavy co-location workload.
+
+    Every session is SC1-CF1 on the Galaxy S22 (six continuously
+    inferring tasks — the heaviest offload demand in the catalog) and
+    arrivals land ``gap_s`` apart, far faster than sessions drain, so
+    server load only ever ratchets up.
+    """
+    if n_sessions < 1:
+        raise ExperimentError(f"n_sessions must be >= 1, got {n_sessions}")
+    placement_seed = derive_seed(seed, "saturation-placement")
+    return [
+        SessionSpec(
+            session_id=f"w{index:02d}-galaxys22-SC1",
+            device=GALAXY_S22,
+            scenario="SC1",
+            taskset="CF1",
+            arrival_s=gap_s * index,
+            placement_seed=placement_seed,
+            position=10.0 * (index % 4),
+        )
+        for index in range(n_sessions)
+    ]
+
+
+@dataclass(frozen=True)
+class SaturationStudyResult:
+    """Admission-on vs open-admission fleets under the same flash crowd."""
+
+    n_servers: int
+    n_sessions: int
+    admission: FleetResult
+    open_admission: FleetResult
+
+    @property
+    def p95_epsilon_admission(self) -> float:
+        if self.admission.aggregates.p95_epsilon is None:
+            raise ExperimentError("admission run recorded no epsilons")
+        return self.admission.aggregates.p95_epsilon
+
+    @property
+    def p95_epsilon_open(self) -> float:
+        if self.open_admission.aggregates.p95_epsilon is None:
+            raise ExperimentError("open-admission run recorded no epsilons")
+        return self.open_admission.aggregates.p95_epsilon
+
+    @property
+    def epsilon_tail_win(self) -> float:
+        """Strictly positive when admission control cuts the ε tail."""
+        return self.p95_epsilon_open - self.p95_epsilon_admission
+
+
+def run_saturation_study(
+    seed: int = DEFAULT_SEED,
+    config: Optional[HBOConfig] = None,
+    n_servers: int = 2,
+    n_sessions: int = 12,
+    capacity_streams: float = 2.5,
+    placement: str = "least-loaded",
+) -> SaturationStudyResult:
+    """Drive the same flash crowd through the same undersized topology
+    twice — once with admission control + shedding, once wide open — and
+    compare the pooled p95 of Eq. 4 normalized latency.
+
+    Open admission lets every arrival pile onto the servers, so the
+    processor-sharing slowdown blows up the ε tail; admission control
+    bounces late arrivals (and sheds over-threshold tenants) back to
+    their devices, trading their edge speedup for a bounded tail.
+    """
+    cfg = config if config is not None else HBOConfig()
+
+    def run(admission: Optional[AdmissionConfig]) -> FleetResult:
+        topology = saturation_topology(
+            n_servers, capacity_streams=capacity_streams, admission=admission
+        )
+        scheduler = FleetScheduler(
+            flash_crowd_specs(n_sessions, seed=seed),
+            seed=derive_seed(seed, "saturation"),
+            config=FleetConfig(
+                hbo=cfg,
+                warm_start=False,
+                topology=topology,
+                placement=placement,
+            ),
+        )
+        return scheduler.run()
+
+    return SaturationStudyResult(
+        n_servers=n_servers,
+        n_sessions=n_sessions,
+        admission=run(None),
+        open_admission=run(OPEN_ADMISSION),
+    )
+
+
+def render_saturation(result: SaturationStudyResult) -> str:
+    """Human-readable saturation report (the BENCH_pr7 headline pair)."""
+    admitted = result.admission.topology_stats or {}
+    rows = [
+        ["servers x sessions", f"{result.n_servers} x {result.n_sessions}"],
+        ["p95 eps (open admission)", result.p95_epsilon_open],
+        ["p95 eps (admission + fallback)", result.p95_epsilon_admission],
+        ["eps tail win", result.epsilon_tail_win],
+        ["admission rejections", admitted.get("rejections", 0)],
+        ["shed fallbacks", admitted.get("sheds", 0)],
+    ]
+    return format_kv("Edge saturation — flash crowd vs admission control", rows)
 
 
 if __name__ == "__main__":

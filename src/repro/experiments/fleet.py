@@ -18,6 +18,7 @@ from typing import List, Optional, Tuple
 from repro.core.controller import HBOConfig
 from repro.device.profiles import GALAXY_S22, PIXEL7
 from repro.edge.runtime import EdgeConfig
+from repro.edge.topology import EdgeTopologyConfig
 from repro.errors import ExperimentError
 from repro.experiments.common import DEFAULT_SEED
 from repro.experiments.report import format_kv, format_series, format_table
@@ -69,6 +70,11 @@ def default_fleet_specs(
                     0.0 if is_donor else donors_done_s + follow_gap_s * follower_rank
                 ),
                 placement_seed=derive_seed(seed, "fleet-placement", scenario, device),
+                # Spread users across the topology's distance axis so the
+                # `nearest` placement policy has real choices to make
+                # (pure function of the index; unused outside topology
+                # mode, where the field is simply ignored).
+                position=10.0 * (index % 4),
             )
         )
     return specs
@@ -98,14 +104,24 @@ def run_fleet_experiment(
     warm_start: bool = True,
     store: Optional[SharedConfigStore] = None,
     edge: Optional[EdgeConfig] = None,
+    topology: Optional[EdgeTopologyConfig] = None,
+    placement: str = "price-aware",
 ) -> FleetExperimentResult:
     """Run the mixed fleet; pass ``warm_start=False`` for an all-cold
-    control run (every session ignores the store on admission), and an
+    control run (every session ignores the store on admission), an
     :class:`~repro.edge.runtime.EdgeConfig` to stand up one shared edge
-    server all sessions offload to and contend on."""
+    server all sessions offload to and contend on, or an
+    :class:`~repro.edge.topology.EdgeTopologyConfig` to route sessions
+    through a multi-server topology under ``placement``."""
     cfg = config if config is not None else HBOConfig()
     specs = default_fleet_specs(n_sessions, cfg, seed=seed)
-    fleet_config = FleetConfig(hbo=cfg, warm_start=warm_start, edge=edge)
+    fleet_config = FleetConfig(
+        hbo=cfg,
+        warm_start=warm_start,
+        edge=edge,
+        topology=topology,
+        placement=placement,
+    )
     scheduler = FleetScheduler(
         specs, seed=derive_seed(seed, "fleet"), config=fleet_config, store=store
     )
@@ -157,6 +173,28 @@ def render(experiment: FleetExperimentResult) -> str:
             title="Per-session outcomes",
         )
     )
+    topology = result.topology_stats
+    if topology is not None:
+        placements = ", ".join(
+            f"{node}={count}" for node, count in topology["placements"].items()
+        )
+        loads = ", ".join(
+            f"{node}={load:.2f}"
+            for node, load in topology["final_utilization"].items()
+        )
+        topology_rows = [
+            ["nodes", topology["n_nodes"]],
+            ["placement policy", topology["placement_policy"]],
+            ["placements", placements],
+            ["admission rejections", topology["rejections"]],
+            ["shed fallbacks", topology["sheds"]],
+            ["outage fallbacks", topology["outage_fallbacks"]],
+            ["migrations", topology["migrations"]],
+            ["final utilization", loads],
+        ]
+        if aggregates.p95_epsilon is not None:
+            topology_rows.append(["p95 epsilon", aggregates.p95_epsilon])
+        blocks.append(format_kv("Edge topology", topology_rows))
     warm = experiment.median_converged_warm
     cold = experiment.median_converged_cold
     convergence = [

@@ -39,6 +39,11 @@ def fleet_report_to_dict(report: "FleetSessionReport") -> Dict[str, Any]:
         "best_cost": report.best_cost,
         "cohort_best_cost": report.cohort_best_cost,
         "converged_at": report.converged_at,
+        "epsilons": [float(v) for v in report.epsilons],
+        "placed_node": report.placed_node,
+        "edge_node": report.edge_node,
+        "fallback_reason": report.fallback_reason,
+        "migrations": report.migrations,
     }
 
 
@@ -68,11 +73,14 @@ def fleet_result_to_dict(
             "mean_best_cost": aggregates.mean_best_cost,
             "median_converged_warm": aggregates.median_converged_warm,
             "median_converged_cold": aggregates.median_converged_cold,
+            "p95_epsilon": aggregates.p95_epsilon,
         },
         "histogram": {str(k): v for k, v in result.histogram.items()},
         "store": result.store_stats,
         "service": result.service_stats,
     }
+    if result.topology_stats is not None:
+        exported["topology"] = result.topology_stats
     if metrics is not None:
         exported["metrics"] = metrics.snapshot()
     return exported

@@ -20,14 +20,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.backend.plan import EvalPlan
 from repro.backend.solve import solve
 from repro.core.algorithm import PendingEvaluation
 from repro.core.controller import HBOConfig
+from repro.edge.placement import migration_candidate, resolve_policy
 from repro.edge.runtime import EdgeConfig
 from repro.edge.server import EdgeServer
+from repro.edge.topology import EdgeTopology, EdgeTopologyConfig
 from repro.errors import FleetError
 from repro.fleet.batch import SharedOptimizerService
 from repro.fleet.session import FleetSession, SessionPhase, SessionSpec
@@ -42,6 +44,7 @@ from repro.fleet.telemetry import (
 from repro.obs import runtime as obs
 from repro.rng import SeedLike, spawn_rngs
 from repro.sim.clock import SimClock
+from repro.sim.scenarios import ServerOutage, network_drift_scale
 
 
 @dataclass(frozen=True)
@@ -56,10 +59,48 @@ class FleetConfig:
     #: session gets its own wireless link + tenancy on it, so sessions
     #: contend for edge compute across the fleet.
     edge: Optional[EdgeConfig] = None
+    #: Multi-server edge topology (mutually exclusive with ``edge``):
+    #: sessions are placed onto one of N nodes at arrival, admission can
+    #: reject them onto their devices, saturated nodes shed tenants, and
+    #: drift can migrate them — see :mod:`repro.edge.topology`.
+    topology: Optional[EdgeTopologyConfig] = None
+    #: Placement policy name for topology mode (see
+    #: :data:`repro.edge.placement.PLACEMENT_POLICIES`).
+    placement: str = "price-aware"
+    #: Per-node scheduled bandwidth drift, node name → (time_s, scale)
+    #: breakpoints (topology mode only).
+    edge_drift: Optional[Mapping[str, Tuple[Tuple[float, float], ...]]] = None
+    #: Scheduled server outages (topology mode only).
+    edge_outages: Tuple[ServerOutage, ...] = ()
 
     def __post_init__(self) -> None:
         if self.tick_s <= 0:
             raise FleetError(f"tick_s must be > 0, got {self.tick_s}")
+        if self.edge is not None and self.topology is not None:
+            raise FleetError(
+                "configure either the legacy singleton edge or a topology, "
+                "not both"
+            )
+        resolve_policy(self.placement)
+        if self.topology is None and (self.edge_drift or self.edge_outages):
+            raise FleetError(
+                "edge_drift/edge_outages require a topology; the legacy "
+                "singleton edge has no named servers to schedule against"
+            )
+        if self.topology is not None:
+            names = {node.name for node in self.topology.nodes}
+            for name in self.edge_drift or {}:
+                if name not in names:
+                    raise FleetError(
+                        f"edge_drift names unknown node {name!r} "
+                        f"(topology has {sorted(names)})"
+                    )
+            for episode in self.edge_outages:
+                if episode.node not in names:
+                    raise FleetError(
+                        f"edge_outages names unknown node {episode.node!r} "
+                        f"(topology has {sorted(names)})"
+                    )
 
 
 @dataclass
@@ -73,6 +114,10 @@ class FleetResult:
     service_stats: Dict[str, Any]
     ticks: int
     tick_s: float
+    #: Placement/admission/migration roll-up for topology runs. ``None``
+    #: for legacy runs AND for a singleton topology (the PR 5-equivalent
+    #: shape), so single-server output stays byte-identical.
+    topology_stats: Optional[Dict[str, Any]] = None
 
     def report_for(self, session_id: str) -> FleetSessionReport:
         for report in self.reports:
@@ -112,6 +157,13 @@ class FleetScheduler:
             if self.config.edge is not None
             else None
         )
+        #: The live multi-server topology all sessions share in topology
+        #: mode (None otherwise).
+        self.topology: Optional[EdgeTopology] = (
+            EdgeTopology(self.config.topology)
+            if self.config.topology is not None
+            else None
+        )
         rngs = spawn_rngs(seed, len(specs))
         self.sessions: List[FleetSession] = [
             FleetSession(
@@ -120,9 +172,16 @@ class FleetScheduler:
                 rng,
                 edge=self.config.edge,
                 edge_server=self.edge_server,
+                topology=self.topology,
+                placement=self.config.placement,
             )
             for spec, rng in zip(specs, rngs)
         ]
+        self._session_of: Dict[str, FleetSession] = {
+            s.spec.session_id: s for s in self.sessions
+        }
+        self._shed_fallbacks = 0
+        self._outage_fallbacks = 0
 
     # ------------------------------------------------------------- stepping
 
@@ -152,17 +211,34 @@ class FleetScheduler:
         time.
         """
         with obs.span("fleet.tick", category="fleet", tick=tick) as span:
+            if self.topology is not None:
+                self._maintain_topology()
             self._admit_arrivals(tick)
+            if self.topology is not None:
+                self._shed_overloaded()
+                self._migrate_sessions(tick)
             active = [s for s in self.sessions if s.active]
             guided = [s for s in active if s.needs_guided_proposal]
             initial = [s for s in active if not s.needs_guided_proposal]
             stepped: List[Tuple[FleetSession, PendingEvaluation]] = []
             if guided:
-                proposals = self.service.propose(
-                    [s.optimizer for s in guided], [s.rng for s in guided]
-                )
-                for session, z in zip(guided, proposals):
-                    stepped.append((session, session.begin_guided(z)))
+                # Sessions that fell back to the device run a 3-simplex
+                # next to their 4-simplex peers; the batched GP pass can
+                # only mix equal dimensions, so group by space dim (one
+                # group — the identical legacy call — when homogeneous).
+                by_dim: Dict[int, List[FleetSession]] = {}
+                for session in guided:
+                    assert session.optimizer is not None
+                    by_dim.setdefault(session.optimizer.space.dim, []).append(
+                        session
+                    )
+                for dim in sorted(by_dim):
+                    group = by_dim[dim]
+                    proposals = self.service.propose(
+                        [s.optimizer for s in group], [s.rng for s in group]
+                    )
+                    for session, z in zip(group, proposals):
+                        stepped.append((session, session.begin_guided(z)))
             for session in initial:
                 stepped.append((session, session.begin_initial()))
             for (session, pending), steady in zip(
@@ -173,11 +249,92 @@ class FleetScheduler:
                 if session.budget_exhausted:
                     session.finish(tick, store=self.store)
             span.set(n_active=len(active), n_guided=len(guided))
+            if self.topology is not None:
+                for node in self.topology.nodes:
+                    obs.gauge("edge_server_load", node=node.name).set(
+                        node.utilization
+                    )
             # Advance inside the span so a tick renders with its real
             # sim-time width (tick_s) instead of as a zero-width slice.
             self.clock.advance(self.config.tick_s)
         obs.counter("fleet_ticks").inc()
         obs.gauge("fleet_active_sessions").set(len(active))
+
+    # ----------------------------------------------------- topology upkeep
+
+    def _maintain_topology(self) -> None:
+        """Apply this tick's scheduled cell drift and outage windows.
+
+        Runs before admissions so arrivals are placed against the state
+        they would actually experience. A node *entering* an outage sheds
+        every tenant onto its device (graceful fallback); a node leaving
+        one simply starts admitting again.
+        """
+        assert self.topology is not None
+        now_s = self.clock.now_s
+        drift = self.config.edge_drift
+        for node in self.topology.nodes:
+            if drift and node.name in drift:
+                node.set_bandwidth_scale(
+                    network_drift_scale(now_s, tuple(drift[node.name]))
+                )
+            down = any(
+                episode.node == node.name and episode.covers(now_s)
+                for episode in self.config.edge_outages
+            )
+            if down != node.in_outage:
+                node.set_outage(down)
+                if down:
+                    for session_id in node.server.tenant_ids:
+                        self.topology.detach(session_id)
+                        self._session_of[session_id].fallback_to_device(
+                            "outage"
+                        )
+                        self._outage_fallbacks += 1
+
+    def _shed_overloaded(self) -> None:
+        """Push the newest tenants of any saturated node back onto their
+        devices until its utilization re-enters the admission band."""
+        assert self.topology is not None
+        for node in self.topology.nodes:
+            for session_id in self.topology.shed_candidates(node.name):
+                self.topology.detach(session_id)
+                self._session_of[session_id].fallback_to_device("shed")
+                self._shed_fallbacks += 1
+
+    def _migrate_sessions(self, tick: int) -> None:
+        """Move sessions whose node drifted expensive, hysteresis-bounded.
+
+        A session migrates only after the configured dwell on its current
+        node and only to a candidate pricing the offload at least the
+        hysteresis fraction cheaper — both read from the topology's
+        :class:`~repro.edge.topology.MigrationConfig`.
+        """
+        assert self.topology is not None
+        migration = self.topology.config.migration
+        if not migration.enabled:
+            return
+        for session in self.sessions:
+            if not session.active or not session.edge_node:
+                continue
+            if (
+                session.attached_tick is None
+                or tick - session.attached_tick < migration.dwell_ticks
+            ):
+                continue
+            profile = session._edge_profile
+            runtime = session.system.device.edge if session.system else None
+            if profile is None or runtime is None:
+                continue
+            demand = runtime.server.demand_of(session.spec.session_id)
+            target = migration_candidate(
+                self.topology,
+                session.spec.session_id,
+                profile,
+                demand if demand > 0 else session._est_streams,
+            )
+            if target is not None:
+                session.migrate_edge(target, tick)
 
     def _batched_steady(
         self, stepped: Sequence[Tuple[FleetSession, PendingEvaluation]]
@@ -252,7 +409,44 @@ class FleetScheduler:
             },
             ticks=tick,
             tick_s=self.config.tick_s,
+            topology_stats=self._topology_stats(),
         )
+
+    def _topology_stats(self) -> Optional[Dict[str, Any]]:
+        """Roll up placement/admission/migration outcomes for reporting.
+
+        ``None`` in legacy mode and for a singleton topology — the
+        PR 5-equivalent shape must render byte-identically to PR 5.
+        """
+        if (
+            self.topology is None
+            or self.config.topology is None
+            or self.config.topology.is_singleton
+        ):
+            return None
+        placements = {node.name: 0 for node in self.topology.nodes}
+        rejections = 0
+        migrations = 0
+        for session in self.sessions:
+            outcome = session.placement_outcome
+            if outcome is not None:
+                if outcome.node is None:
+                    rejections += 1
+                else:
+                    placements[outcome.node] += 1
+            migrations += session.migrations
+        return {
+            "n_nodes": len(self.topology.nodes),
+            "placement_policy": self.config.placement,
+            "placements": placements,
+            "rejections": rejections,
+            "sheds": self._shed_fallbacks,
+            "outage_fallbacks": self._outage_fallbacks,
+            "migrations": migrations,
+            "final_utilization": {
+                node.name: node.utilization for node in self.topology.nodes
+            },
+        }
 
     # ------------------------------------------------------------ reporting
 
@@ -291,6 +485,15 @@ class FleetScheduler:
             best_cost=min(costs),
             cohort_best_cost=cohort_best_cost,
             converged_at=iterations_to_converge(costs, target=cohort_best_cost),
+            epsilons=tuple(r.measurement.epsilon for r in session.results),
+            placed_node=(
+                session.placement_outcome.node or ""
+                if session.placement_outcome is not None
+                else ""
+            ),
+            edge_node=session.edge_node,
+            fallback_reason=session.fallback_reason,
+            migrations=session.migrations,
         )
 
 

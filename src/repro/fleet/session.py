@@ -31,12 +31,24 @@ from repro.core.algorithm import HBOIteration, IterationResult, PendingEvaluatio
 from repro.core.controller import HBOConfig
 from repro.core.lookup import EnvironmentSignature
 from repro.core.system import MARSystem
-from repro.device.profiles import PIXEL7
-from repro.edge.runtime import EdgeConfig, build_edge_runtime
+from repro.device.profiles import PIXEL7, StaticProfile
+from repro.device.resources import Resource
+from repro.edge.link import WirelessLink
+from repro.edge.placement import PlacementOutcome, PlacementRequest, place
+from repro.edge.runtime import EdgeConfig, EdgeRuntime, build_edge_runtime
 from repro.edge.server import EdgeServer
+from repro.edge.share import edge_demand
+from repro.edge.topology import EdgeTopology
 from repro.errors import FleetError
 from repro.fleet.store import SharedConfigStore, WarmStartEntry
-from repro.sim.scenarios import build_system, place_catalog, scenario_catalog
+from repro.obs import runtime as obs
+from repro.rng import derive_seed
+from repro.sim.scenarios import (
+    build_system,
+    place_catalog,
+    scenario_catalog,
+    scenario_taskset,
+)
 
 
 class SessionPhase(enum.Enum):
@@ -65,6 +77,9 @@ class SessionSpec:
     placement_seed: int = 7
     noise_sigma: float = 0.04
     samples_per_period: int = 20
+    #: The user's 1-D coordinate in the edge topology's distance space
+    #: (only the ``nearest`` placement policy reads it).
+    position: float = 0.0
     #: Override the per-session evaluation budget (defaults to the HBO
     #: config's ``total_evaluations``).
     n_evaluations: Optional[int] = None
@@ -83,6 +98,27 @@ class SessionSpec:
             )
 
 
+def _offloadable_profiles(spec: SessionSpec) -> List[StaticProfile]:
+    """The session's CPU-capable task profiles — the ones an edge server
+    could host — in taskset order."""
+    return [
+        task.profile
+        for task in scenario_taskset(spec.taskset, spec.device)
+        if task.profile.supports(Resource.CPU)
+    ]
+
+
+def _device_fallback_resource(profile: StaticProfile) -> Resource:
+    """Fastest on-device resource for a task coming back from the edge
+    (mirrors the device's own failed-delegate fallback ranking)."""
+    options = [
+        (profile.latency(res), i, res)
+        for i, res in enumerate(Resource)
+        if res is not Resource.EDGE and profile.supports(res)
+    ]
+    return min(options)[2]
+
+
 class FleetSession:
     """Runtime state of one session; stepped by the scheduler."""
 
@@ -93,12 +129,34 @@ class FleetSession:
         rng: np.random.Generator,
         edge: Optional[EdgeConfig] = None,
         edge_server: Optional[EdgeServer] = None,
+        topology: Optional[EdgeTopology] = None,
+        placement: str = "price-aware",
     ) -> None:
+        if edge is not None and topology is not None:
+            raise FleetError(
+                f"{spec.session_id}: a session offloads through either the "
+                "legacy singleton edge config or a topology, not both"
+            )
         self.spec = spec
         self.config = config
         self.rng = rng
         self._edge_config = edge
         self._edge_server = edge_server
+        self._topology = topology
+        self._placement_policy = placement
+        #: Where this session landed (set on admission in topology mode).
+        self.placement_outcome: Optional[PlacementOutcome] = None
+        #: Name of the node currently serving the session ("" when none).
+        self.edge_node = ""
+        #: Tick of the most recent attach (admission or migration); the
+        #: scheduler's migration dwell guard counts from here.
+        self.attached_tick: Optional[int] = None
+        self.migrations = 0
+        #: Why the session fell back to device-only mid-run ("" if never).
+        self.fallback_reason = ""
+        self._link_seed: Optional[int] = None
+        self._est_streams = 0.0
+        self._edge_profile: Optional[StaticProfile] = None
         self.phase = SessionPhase.WAITING
         self.system: Optional[MARSystem] = None
         self.optimizer: Optional[BayesianOptimizer] = None
@@ -166,6 +224,11 @@ class FleetSession:
                 session_id=spec.session_id,
                 server=self._edge_server,
             )
+            self._link_seed = link_seed
+        elif self._topology is not None:
+            edge_runtime = self._admit_to_topology()
+            if edge_runtime is not None:
+                self.attached_tick = tick
         self.system = build_system(
             spec.scenario,
             spec.taskset,
@@ -194,7 +257,15 @@ class FleetSession:
         )
         if store is not None and warm_start:
             entry = store.warm_start_for(self.signature, scope=spec.device)
-            if entry is not None and entry.observations:
+            # A donor whose observations live in a different-dimensional
+            # space (a device-fallback session donating 3-simplex points
+            # into a 4-simplex fleet, or vice versa) cannot seed this
+            # optimizer; treat the hit as cold instead of corrupting the GP.
+            if (
+                entry is not None
+                and entry.observations
+                and len(entry.observations[0][0]) == space.dim
+            ):
                 self.optimizer.warm_start(entry.to_observations())
                 self.warm_entry = entry
         self.iteration = HBOIteration(
@@ -202,6 +273,141 @@ class FleetSession:
         )
         self.phase = SessionPhase.ACTIVE
         self.start_tick = tick
+
+    def _admit_to_topology(self) -> Optional[EdgeRuntime]:
+        """Ask the topology for a server; None means device fallback.
+
+        Runs the placement policy, and — only when a node admits the
+        session — draws the link seed and binds the tenancy. Rejected
+        sessions consume exactly the RNG draws of a device-only one, the
+        same only-when-edge contract the legacy path keeps.
+        """
+        assert self._topology is not None
+        spec = self.spec
+        profiles = _offloadable_profiles(spec)
+        if not profiles:
+            return None
+        est = 0.0
+        for profile in profiles:
+            est += edge_demand(profile)
+        self._est_streams = est
+        self._edge_profile = max(profiles, key=edge_demand)
+        outcome = place(
+            self._topology,
+            PlacementRequest(
+                session_id=spec.session_id,
+                est_streams=est,
+                position=spec.position,
+                profile=self._edge_profile,
+            ),
+            self._placement_policy,
+        )
+        self.placement_outcome = outcome
+        if outcome.node is None:
+            obs.counter(
+                "edge_admission_rejections", policy=self._placement_policy
+            ).inc()
+            return None
+        link_seed = int(self.rng.integers(0, 2**31))
+        self._link_seed = link_seed
+        node = self._topology.node(outcome.node)
+        link = WirelessLink(node.config.link, link_seed)
+        self._topology.attach(spec.session_id, outcome.node, link)
+        self.edge_node = outcome.node
+        obs.counter(
+            "edge_placements", policy=self._placement_policy, node=outcome.node
+        ).inc()
+        return EdgeRuntime(
+            EdgeConfig(server=node.config.server, link=node.config.link),
+            node.server,
+            link,
+            session_id=spec.session_id,
+            register=False,
+        )
+
+    def fallback_to_device(self, reason: str) -> None:
+        """Collapse the session from the 4-simplex to the device 3-simplex
+        mid-run — shed by a saturated server or orphaned by an outage.
+
+        The caller has already detached the tenancy from the topology.
+        EDGE-placed tasks move to their fastest on-device resource, the
+        optimizer is rebuilt over the 3-resource space (continuing this
+        session's own RNG stream, so the whole fleet stays deterministic),
+        and the accumulated cost trajectory keeps growing — no crash, no
+        budget reset.
+        """
+        if self.system is None or self.optimizer is None:
+            raise FleetError(
+                f"{self.spec.session_id}: device fallback before admission"
+            )
+        device = self.system.device
+        runtime = device.edge
+        if runtime is None:
+            raise FleetError(
+                f"{self.spec.session_id}: device fallback without an edge "
+                "runtime"
+            )
+        runtime.abandon()
+        device.edge = None
+        profile_of = {task.task_id: task.profile for task in self.system.taskset}
+        for task_id, resource in device.allocation.items():
+            if resource is Resource.EDGE:
+                device.set_allocation(
+                    task_id, _device_fallback_resource(profile_of[task_id])
+                )
+        cfg = self.config
+        space = HBOSpace(self.system.n_resources, r_min=cfg.r_min)
+        self.optimizer = BayesianOptimizer(
+            space=space,
+            n_initial=cfg.n_initial,
+            kernel=Matern(length_scale=cfg.kernel_length_scale, nu=2.5),
+            noise=cfg.noise,
+            seed=self.rng,
+        )
+        self.iteration = HBOIteration(
+            self.system, self.optimizer, w=cfg.w, latency_only=cfg.latency_only
+        )
+        self.edge_node = ""
+        self.attached_tick = None
+        self.fallback_reason = reason
+        obs.counter("edge_fallbacks", reason=reason).inc()
+
+    def migrate_edge(self, node_name: str, tick: int) -> None:
+        """Move this session's tenancy to ``node_name`` mid-run.
+
+        The new link's drift trace is seeded from the admission link seed
+        and the migration ordinal, so migration timing — not hidden
+        state — is the only input to the new trace.
+        """
+        if self._topology is None:
+            raise FleetError(
+                f"{self.spec.session_id}: migration without a topology"
+            )
+        if self.system is None or self.system.device.edge is None:
+            raise FleetError(
+                f"{self.spec.session_id}: migration without an edge runtime"
+            )
+        runtime = self.system.device.edge
+        session_id = self.spec.session_id
+        demand = runtime.server.demand_of(session_id)
+        previous = self._topology.detach(session_id)
+        node = self._topology.node(node_name)
+        assert self._link_seed is not None
+        link = WirelessLink(
+            node.config.link,
+            derive_seed(self._link_seed, "migrate", str(self.migrations)),
+        )
+        self._topology.attach(session_id, node_name, link)
+        runtime.migrate(
+            EdgeConfig(server=node.config.server, link=node.config.link),
+            node.server,
+            link,
+        )
+        runtime.set_demand_streams(demand)
+        self.migrations += 1
+        self.edge_node = node_name
+        self.attached_tick = tick
+        obs.counter("edge_migrations", src=previous, dst=node_name).inc()
 
     def step_initial(self) -> IterationResult:
         """One control period with the session's own (random-phase) ask."""
@@ -258,14 +464,30 @@ class FleetSession:
                 f"{self.spec.session_id}: finished with no evaluations"
             )
         best = min(self.results, key=lambda r: r.cost)
-        self.system.apply(dict(best.allocation), best.triangle_ratio)
+        allocation = dict(best.allocation)
+        if self.system.device.edge is None:
+            # A fallen-back session may still prefer a pre-fallback result
+            # whose allocation placed tasks on EDGE; those tasks land on
+            # their fastest on-device resource instead.
+            profile_of = {
+                task.task_id: task.profile for task in self.system.taskset
+            }
+            allocation = {
+                task_id: (
+                    _device_fallback_resource(profile_of[task_id])
+                    if resource is Resource.EDGE
+                    else resource
+                )
+                for task_id, resource in allocation.items()
+            }
+        self.system.apply(allocation, best.triangle_ratio)
         if store is not None and self.signature is not None:
             # Donate only this session's own measurements — warm-start
             # observations would otherwise echo through the fleet forever.
             own = self.optimizer.state.observations[self.optimizer.n_warm :]
             store.donate(
                 signature=self.signature,
-                allocation=dict(best.allocation),
+                allocation=allocation,
                 triangle_ratio=best.triangle_ratio,
                 reward=-best.cost,
                 observations=own,
@@ -275,7 +497,13 @@ class FleetSession:
         # Leave the shared edge server: a finished session's offloaded
         # demand must stop slowing the tenants still running.
         if self.system.device.edge is not None:
-            self.system.device.edge.release()
+            if self._topology is not None:
+                # edge_node is kept for reporting: it names the node that
+                # served the session through its final control period.
+                self._topology.detach(self.spec.session_id)
+                self.system.device.edge.abandon()
+            else:
+                self.system.device.edge.release()
         self.phase = SessionPhase.DONE
         self.end_tick = tick
 

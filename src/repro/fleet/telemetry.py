@@ -70,6 +70,18 @@ class FleetSessionReport:
     best_cost: float
     cohort_best_cost: float  # best cost any same-cohort session measured
     converged_at: int  # time-to-cohort-target, see iterations_to_converge
+    #: Eq. 4 normalized latency per control period (the bench's p95 ε
+    #: input); empty only for reports predating the epsilon trajectory.
+    epsilons: Tuple[float, ...] = ()
+    #: Topology node chosen at admission ("" = rejected or no topology).
+    placed_node: str = ""
+    #: Node serving the session through its final period ("" = device).
+    edge_node: str = ""
+    #: Why the session fell back to device-only mid-run ("" if never):
+    #: "shed" (saturated server) or "outage" (server went down).
+    fallback_reason: str = ""
+    #: Number of mid-run server migrations.
+    migrations: int = 0
 
     def __post_init__(self) -> None:
         if not self.costs:
@@ -81,6 +93,11 @@ class FleetSessionReport:
                 f"{self.session_id}: trajectory lengths disagree "
                 f"({len(self.costs)} costs, {len(self.latencies_ms)} latencies, "
                 f"{len(self.qualities)} qualities)"
+            )
+        if self.epsilons and len(self.epsilons) != len(self.costs):
+            raise FleetError(
+                f"{self.session_id}: epsilon trajectory length disagrees "
+                f"({len(self.costs)} costs, {len(self.epsilons)} epsilons)"
             )
 
 
@@ -97,6 +114,11 @@ class FleetAggregates:
     mean_best_cost: float
     median_converged_warm: Optional[float]  # None when no warm sessions
     median_converged_cold: Optional[float]  # None when no cold sessions
+    #: Pooled p95 of Eq. 4 normalized latency across every control period
+    #: (None when reports carry no epsilon trajectories). This is the
+    #: admission-control bench's headline number: shedding work off a
+    #: saturated server should cut the worst-case ε tail.
+    p95_epsilon: Optional[float] = None
 
 
 def fleet_aggregates(reports: Sequence[FleetSessionReport]) -> FleetAggregates:
@@ -108,6 +130,12 @@ def fleet_aggregates(reports: Sequence[FleetSessionReport]) -> FleetAggregates:
     qualities = np.concatenate([np.asarray(r.qualities) for r in reports])
     warm = [r.converged_at for r in reports if r.warm_started]
     cold = [r.converged_at for r in reports if not r.warm_started]
+    epsilon_rows = [np.asarray(r.epsilons) for r in reports if r.epsilons]
+    p95_epsilon = (
+        float(np.percentile(np.concatenate(epsilon_rows), 95))
+        if epsilon_rows
+        else None
+    )
     return FleetAggregates(
         n_sessions=len(reports),
         n_evaluations=int(latencies.shape[0]),
@@ -118,6 +146,7 @@ def fleet_aggregates(reports: Sequence[FleetSessionReport]) -> FleetAggregates:
         mean_best_cost=float(np.mean([r.best_cost for r in reports])),
         median_converged_warm=float(np.median(warm)) if warm else None,
         median_converged_cold=float(np.median(cold)) if cold else None,
+        p95_epsilon=p95_epsilon,
     )
 
 

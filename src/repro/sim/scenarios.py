@@ -11,7 +11,8 @@ Combines the Table II pieces into ready-to-run systems:
 
 from __future__ import annotations
 
-from typing import List, Literal, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Literal, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -154,16 +155,90 @@ def network_drift_scale(
     return scale
 
 
+#: A per-server drift plan: node name → (time_s, bandwidth_scale)
+#: breakpoints. Each server's cell degrades on its own schedule.
+DriftScheduleMap = Mapping[str, Tuple[Tuple[float, float], ...]]
+
+
 def apply_network_drift(
     link: WirelessLink,
     now_s: float,
-    schedule: Tuple[Tuple[float, float], ...] = NETWORK_DRIFT_SCHEDULE,
+    schedule: Union[
+        Tuple[Tuple[float, float], ...], DriftScheduleMap
+    ] = NETWORK_DRIFT_SCHEDULE,
+    server: Optional[str] = None,
 ) -> float:
     """Force ``link`` onto the scheduled bandwidth scale for ``now_s``
-    (overriding random drift) and return the applied scale."""
-    scale = network_drift_scale(now_s, schedule)
+    (overriding random drift) and return the applied scale.
+
+    ``schedule`` is either a single breakpoint tuple (the original
+    single-link form — every pre-topology call site is byte-identical)
+    or a per-server map of them, in which case ``server`` selects the
+    entry; a server absent from the map keeps a nominal scale of 1.0
+    (its cell is simply not part of the episode).
+    """
+    if isinstance(schedule, Mapping):
+        if server is None:
+            raise ConfigurationError(
+                "a per-server drift map needs the server= name to select "
+                f"a schedule from {sorted(schedule)}"
+            )
+        if server not in schedule:
+            scale = 1.0
+            link.set_bandwidth_scale(scale)
+            return scale
+        scale = network_drift_scale(now_s, tuple(schedule[server]))
+    else:
+        scale = network_drift_scale(now_s, schedule)
     link.set_bandwidth_scale(scale)
     return scale
+
+
+def staggered_drift_schedules(
+    node_names: Sequence[str], stagger_s: float = 10.0
+) -> Dict[str, Tuple[Tuple[float, float], ...]]:
+    """One :data:`NETWORK_DRIFT_SCHEDULE`-shaped plan per server, each
+    node's collapse arriving ``stagger_s`` later than the previous one.
+
+    Pure function of its inputs, so fleets built from it stay
+    deterministic. Staggering matters for migration tests: while node
+    *i* is collapsed, node *i+1* is still nominal, so a price-aware
+    migration has somewhere strictly cheaper to go.
+    """
+    schedules: Dict[str, Tuple[Tuple[float, float], ...]] = {}
+    for i, name in enumerate(node_names):
+        shift = stagger_s * i
+        schedules[name] = tuple(
+            (time_s + shift if time_s > 0 else time_s, scale)
+            for time_s, scale in NETWORK_DRIFT_SCHEDULE
+        )
+    return schedules
+
+
+@dataclass(frozen=True)
+class ServerOutage:
+    """One edge server dropping out of the topology for a time window.
+
+    While ``start_s <= now < end_s`` the node admits nobody and the
+    fleet scheduler pushes its tenants back onto their devices (graceful
+    fallback, not a crash); after ``end_s`` the node serves again.
+    """
+
+    node: str
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        if not self.node:
+            raise ConfigurationError("outage node name must be non-empty")
+        if self.start_s < 0 or self.end_s <= self.start_s:
+            raise ConfigurationError(
+                f"outage window must satisfy 0 <= start < end, got "
+                f"[{self.start_s}, {self.end_s})"
+            )
+
+    def covers(self, now_s: float) -> bool:
+        return self.start_s <= now_s < self.end_s
 
 
 def fig8_event_script(seed: SeedLike = 11) -> Tuple[Tuple[SceneEvent, ...], float]:

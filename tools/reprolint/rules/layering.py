@@ -43,7 +43,15 @@ LAYER_BANDS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("ar", ("repro.ar",)),
     (
         "models-edge-passive",
-        ("repro.models", "repro.edge.share", "repro.edge.link", "repro.edge.server"),
+        (
+            "repro.models",
+            "repro.edge.share",
+            "repro.edge.link",
+            "repro.edge.server",
+            "repro.edge.admission",
+            "repro.edge.topology",
+            "repro.edge.placement",
+        ),
     ),
     ("backend", ("repro.backend",)),
     ("device-dynamic", ("repro.device", "repro.edge")),
