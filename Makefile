@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: reprolint ruff mypy lint test fleet-smoke trace-smoke edge-smoke edge-topology-smoke bench bench-smoke check
+.PHONY: reprolint ruff mypy lint test fleet-smoke trace-smoke edge-smoke edge-topology-smoke gp-smoke bench bench-smoke check
 
 reprolint:
 	PYTHONPATH=tools $(PYTHON) -m reprolint src benchmarks examples \
@@ -63,6 +63,19 @@ edge-topology-smoke:
 	cmp /tmp/repro-edge-topo-smoke-a.txt /tmp/repro-edge-topo-smoke-b.txt
 	@echo "edge-topology-smoke: 4-server topology fleet is bit-reproducible"
 
+# Sparse GP tier smoke: a fleet on the sparse tier with a tiny switch
+# threshold (so support-set selection actually fires) must be
+# bit-reproducible — run it twice at seed 2024 and byte-compare.
+gp-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro fleet --gp-tier sparse --gp-threshold 6 \
+		--sessions 8 --seed 2024 --initial 3 --iterations 8 \
+		> /tmp/repro-gp-smoke-a.txt
+	PYTHONPATH=src $(PYTHON) -m repro fleet --gp-tier sparse --gp-threshold 6 \
+		--sessions 8 --seed 2024 --initial 3 --iterations 8 \
+		> /tmp/repro-gp-smoke-b.txt
+	cmp /tmp/repro-gp-smoke-a.txt /tmp/repro-gp-smoke-b.txt
+	@echo "gp-smoke: sparse-tier fleet is bit-reproducible"
+
 # Time the hot kernels and distill the scalar-vs-batched backend numbers
 # into the committed BENCH_pr4.json (see docs/performance.md).
 bench:
@@ -71,6 +84,7 @@ bench:
 	$(PYTHON) tools/bench_pr4.py /tmp/repro-bench-pr4.json BENCH_pr4.json
 	PYTHONPATH=src $(PYTHON) tools/bench_pr5.py BENCH_pr5.json
 	PYTHONPATH=src $(PYTHON) tools/bench_pr7.py BENCH_pr7.json
+	PYTHONPATH=src $(PYTHON) tools/bench_pr8.py BENCH_pr8.json
 
 # Run every microbench body once, untimed: catches API drift in the bench
 # suite without paying for calibration rounds.
@@ -78,4 +92,4 @@ bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_microbench.py -q \
 		--benchmark-disable
 
-check: lint test fleet-smoke trace-smoke edge-smoke edge-topology-smoke bench-smoke
+check: lint test fleet-smoke trace-smoke edge-smoke edge-topology-smoke gp-smoke bench-smoke

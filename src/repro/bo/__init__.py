@@ -14,6 +14,9 @@ This package implements the optimizer the paper builds HBO on (§IV-C):
   ratio (Constraints 8–10).
 - :mod:`repro.bo.optimizer` — the ask/tell optimization loop with a random
   initialization phase.
+- :mod:`repro.bo.sparse` — the scalable GP tier: subset-of-data
+  approximation with deterministic, seeded support selection
+  (``docs/optimizer.md``).
 """
 
 from repro.bo.acquisition import (
@@ -23,10 +26,11 @@ from repro.bo.acquisition import (
     ProbabilityOfImprovement,
     make_acquisition,
 )
-from repro.bo.gp import GaussianProcess, GPPosterior
+from repro.bo.gp import GaussianProcess, GPPosterior, Surrogate
 from repro.bo.kernels import RBF, Kernel, Matern, WhiteNoise
 from repro.bo.optimizer import BayesianOptimizer, Observation
 from repro.bo.space import BoxSpace, HBOSpace, SimplexSpace
+from repro.bo.sparse import SparseGaussianProcess, select_support
 
 __all__ = [
     "AcquisitionFunction",
@@ -43,6 +47,9 @@ __all__ = [
     "ProbabilityOfImprovement",
     "RBF",
     "SimplexSpace",
+    "SparseGaussianProcess",
+    "Surrogate",
     "WhiteNoise",
     "make_acquisition",
+    "select_support",
 ]

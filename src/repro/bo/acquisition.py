@@ -18,18 +18,18 @@ from typing import Optional
 import numpy as np
 from scipy.stats import norm
 
-from repro.bo.gp import GaussianProcess
+from repro.bo.gp import Surrogate
 from repro.errors import ConfigurationError
 
 
 class AcquisitionFunction(ABC):
-    """Scores candidate points given a fitted GP surrogate."""
+    """Scores candidate points given a fitted surrogate (either tier)."""
 
     name: str = "base"
 
     @abstractmethod
     def __call__(
-        self, gp: GaussianProcess, x: np.ndarray, best_y: float
+        self, gp: Surrogate, x: np.ndarray, best_y: float
     ) -> np.ndarray:
         """Score each row of ``x``; larger is better.
 
@@ -53,7 +53,7 @@ class ExpectedImprovement(AcquisitionFunction):
         self.xi = float(xi)
 
     def __call__(
-        self, gp: GaussianProcess, x: np.ndarray, best_y: float
+        self, gp: Surrogate, x: np.ndarray, best_y: float
     ) -> np.ndarray:
         post = gp.predict(x)
         improvement = best_y - post.mean - self.xi
@@ -75,7 +75,7 @@ class ProbabilityOfImprovement(AcquisitionFunction):
         self.xi = float(xi)
 
     def __call__(
-        self, gp: GaussianProcess, x: np.ndarray, best_y: float
+        self, gp: Surrogate, x: np.ndarray, best_y: float
     ) -> np.ndarray:
         post = gp.predict(x)
         with np.errstate(divide="ignore", invalid="ignore"):
@@ -99,7 +99,7 @@ class LowerConfidenceBound(AcquisitionFunction):
         self.kappa = float(kappa)
 
     def __call__(
-        self, gp: GaussianProcess, x: np.ndarray, best_y: float
+        self, gp: Surrogate, x: np.ndarray, best_y: float
     ) -> np.ndarray:
         post = gp.predict(x)
         return -(post.mean - self.kappa * post.std)

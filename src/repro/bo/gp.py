@@ -12,7 +12,7 @@ numerically singular.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional, Protocol, Tuple
 
 import numpy as np
 from scipy.linalg import cho_factor, cho_solve, solve_triangular, LinAlgError
@@ -37,8 +37,30 @@ class GPPosterior:
             )
 
 
+class Surrogate(Protocol):
+    """Structural interface the acquisition functions score against.
+
+    Both surrogate tiers — the exact :class:`GaussianProcess` and the
+    budgeted :class:`~repro.bo.sparse.SparseGaussianProcess` — satisfy
+    it; acquisition code never needs to know which tier produced the
+    posterior (see ``docs/optimizer.md``).
+    """
+
+    def predict(self, x: np.ndarray) -> GPPosterior:
+        """Posterior N(μ(x), σ²(x)) at each row of ``x``."""
+        ...
+
+
 class GaussianProcess:
     """Exact GP regression: fit on (X, y), predict N(μ, σ²) pointwise.
+
+    This is the **exact tier**: every :meth:`fit` factorizes the full
+    (n, n) covariance in O(n³) (with an O(n²) rank-1 :meth:`update` for
+    the append-one case). For datasets past the scaling wall, use the
+    **sparse tier** — :class:`~repro.bo.sparse.SparseGaussianProcess`
+    conditions on a budgeted support subset and keeps fit cost flat in
+    n. Both satisfy :class:`Surrogate`; `docs/optimizer.md` documents
+    the trade-off and the parity tolerances.
 
     Parameters
     ----------
@@ -76,6 +98,20 @@ class GaussianProcess:
     @property
     def n_observations(self) -> int:
         return 0 if self._x_train is None else int(self._x_train.shape[0])
+
+    @property
+    def x_train(self) -> np.ndarray:
+        """The (n, d) inputs the posterior currently conditions on."""
+        if self._x_train is None:
+            raise GPFitError("x_train read before fit()")
+        return self._x_train.copy()
+
+    @property
+    def y_train(self) -> np.ndarray:
+        """The raw (un-standardized) targets of the current fit."""
+        if self._x_train is None:
+            raise GPFitError("y_train read before fit()")
+        return self._y_raw.copy()
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianProcess":
         """Condition the GP on observations ``x`` (n, d) and ``y`` (n,)."""

@@ -16,19 +16,22 @@ steps would leave it).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.bo.acquisition import AcquisitionFunction, ExpectedImprovement
-from repro.bo.gp import GaussianProcess
+from repro.bo.gp import GaussianProcess, Surrogate
 from repro.bo.kernels import Kernel, Matern
 from repro.bo.space import BoxSpace, HBOSpace
+from repro.bo.sparse import SparseGaussianProcess, select_support
 from repro.errors import ConfigurationError, GPFitError
 from repro.obs import runtime as obs
 from repro.rng import SeedLike, make_rng
 
 SpaceLike = Union[HBOSpace, BoxSpace]
+
+GP_TIERS = ("exact", "sparse")
 
 
 @dataclass(frozen=True)
@@ -94,6 +97,17 @@ class BayesianOptimizer:
     noise:
         GP observation-noise variance; HBO cost observations are runtime
         measurements and genuinely noisy.
+    gp_tier:
+        ``"exact"`` (default) refits the full O(n³) GP every guided ask;
+        ``"sparse"`` auto-switches to the budgeted
+        :class:`~repro.bo.sparse.SparseGaussianProcess` once the dataset
+        outgrows ``sparse_threshold``. Below the threshold the two tiers
+        run the identical exact code path, so small-n behavior — and
+        every tier-off run — is bit-for-bit unchanged.
+    sparse_threshold:
+        The auto-switch point n* and the sparse tier's support budget:
+        fits at n ≤ n* are exact, larger ones condition on an n*-point
+        support set chosen by :func:`~repro.bo.sparse.select_support`.
     """
 
     def __init__(
@@ -107,6 +121,8 @@ class BayesianOptimizer:
         noise: float = 1e-3,
         anchors: Optional[np.ndarray] = None,
         seed: SeedLike = None,
+        gp_tier: str = "exact",
+        sparse_threshold: int = 64,
     ) -> None:
         if n_initial < 1:
             raise ConfigurationError(f"n_initial must be >= 1, got {n_initial}")
@@ -114,6 +130,16 @@ class BayesianOptimizer:
             raise ConfigurationError(f"n_candidates must be >= 1, got {n_candidates}")
         if n_local < 0:
             raise ConfigurationError(f"n_local must be >= 0, got {n_local}")
+        if gp_tier not in GP_TIERS:
+            raise ConfigurationError(
+                f"gp_tier must be one of {GP_TIERS}, got {gp_tier!r}"
+            )
+        if sparse_threshold < 4:
+            raise ConfigurationError(
+                f"sparse_threshold must be >= 4, got {sparse_threshold}"
+            )
+        self.gp_tier = gp_tier
+        self.sparse_threshold = int(sparse_threshold)
         self.space = space
         self.n_initial = int(n_initial)
         self.kernel = kernel if kernel is not None else Matern(length_scale=1.0, nu=2.5)
@@ -226,10 +252,36 @@ class BayesianOptimizer:
             self.tell(z, float(fn(z)))
         return self.best()
 
+    @property
+    def sparse_active(self) -> bool:
+        """True when the next surrogate fit will run on the sparse tier."""
+        return (
+            self.gp_tier == "sparse"
+            and self.n_observations > self.sparse_threshold
+        )
+
+    def surrogate_dataset(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The (x, y) dataset the surrogate conditions on *right now*.
+
+        Exact tier (or sparse tier below n*): every observation. Sparse
+        tier above n*: the deterministic support subset — the same
+        subset :meth:`_fit_surrogate` would select, so external GP
+        services (the fleet's batched proposal path) price sparse
+        sessions identically to a per-session fit.
+        """
+        x = np.asarray([o.z for o in self.state.observations])
+        y = np.asarray([o.cost for o in self.state.observations])
+        if self.sparse_active:
+            support = select_support(y, self.sparse_threshold, seed=0)
+            return x[support], y[support]
+        return x, y
+
     # ------------------------------------------------------------ internals
 
-    def _fit_surrogate(self) -> GaussianProcess:
+    def _fit_surrogate(self) -> Surrogate:
         observations = self.state.observations
+        if self.sparse_active:
+            return self._fit_sparse_surrogate()
         with obs.span("bo.gp_fit", category="bo", n_obs=len(observations)):
             if (
                 self._surrogate is not None
@@ -246,6 +298,33 @@ class BayesianOptimizer:
         self._surrogate_n = len(observations)
         obs.counter("bo_gp_fits").inc()
         return fitted
+
+    def _fit_sparse_surrogate(self) -> SparseGaussianProcess:
+        """Sparse-tier fit: O(m³) on a budgeted support set.
+
+        Every probe here fires only past the n* switch, so tier-off runs
+        (and sparse runs still below n*) emit byte-identical traces and
+        snapshots. The rank-1 cache is dropped: it extends a factor over
+        the *full* dataset, which the sparse tier no longer conditions on.
+        """
+        observations = self.state.observations
+        x = np.asarray([o.z for o in observations])
+        y = np.asarray([o.cost for o in observations])
+        with obs.span(
+            "bo.gp_fit", category="bo", n_obs=len(observations), tier="sparse"
+        ):
+            sgp = SparseGaussianProcess(
+                kernel=self.kernel,
+                noise=self.noise,
+                max_support=self.sparse_threshold,
+                seed=0,
+            ).fit(x, y)
+        self._surrogate = None
+        self._surrogate_n = 0
+        obs.counter("bo_gp_fits").inc()
+        obs.counter("bo_gp_sparse_fits").inc()
+        obs.histogram("bo_sparse_support_size").observe(float(sgp.n_support))
+        return sgp
 
     def _candidate_pool(self) -> np.ndarray:
         pools = [self.space.sample(self._rng, size=self.n_candidates)]

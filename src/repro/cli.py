@@ -102,6 +102,12 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--initial", type=int, default=5)
     tune.add_argument("--edge", action="store_true",
                       help="enable edge offloading (EDGE as a 4th resource)")
+    tune.add_argument("--gp-tier", choices=("exact", "sparse"), default="exact",
+                      help="GP surrogate tier: exact O(n^3) refits, or a "
+                           "budgeted sparse tier past --gp-threshold "
+                           "(docs/optimizer.md)")
+    tune.add_argument("--gp-threshold", type=int, metavar="N", default=64,
+                      help="sparse-tier switch point n* and support budget")
     tune.add_argument("--export", metavar="PATH", default=None,
                       help="write the full run as JSON")
 
@@ -128,6 +134,12 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("nearest", "least-loaded", "price-aware"),
                        default="price-aware",
                        help="topology placement policy (with --edge-servers)")
+    fleet.add_argument("--gp-tier", choices=("exact", "sparse"), default="exact",
+                       help="GP surrogate tier for every session: exact "
+                            "O(n^3) refits, or a budgeted sparse tier past "
+                            "--gp-threshold (docs/optimizer.md)")
+    fleet.add_argument("--gp-threshold", type=int, metavar="N", default=64,
+                       help="sparse-tier switch point n* and support budget")
     fleet.add_argument("--export", metavar="PATH", default=None,
                        help="write the fleet trace as JSON")
     fleet.add_argument("--store", metavar="PATH", default=None,
@@ -170,7 +182,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 def _cmd_tune(args: argparse.Namespace) -> int:
     config = HBOConfig(
-        w=args.weight, n_initial=args.initial, n_iterations=args.iterations
+        w=args.weight,
+        n_initial=args.initial,
+        n_iterations=args.iterations,
+        gp_tier=args.gp_tier,
+        gp_sparse_threshold=args.gp_threshold,
     )
     edge_runtime = None
     if args.edge:
@@ -209,7 +225,12 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
-    config = HBOConfig(n_initial=args.initial, n_iterations=args.iterations)
+    config = HBOConfig(
+        n_initial=args.initial,
+        n_iterations=args.iterations,
+        gp_tier=args.gp_tier,
+        gp_sparse_threshold=args.gp_threshold,
+    )
     edge_config = None
     topology = None
     if args.edge_servers < 1:

@@ -49,6 +49,12 @@ class HBOConfig:
     #: system's relative power draw into the BO cost with this weight —
     #: see :func:`repro.device.power.energy_aware_cost`.
     w_power: float = 0.0
+    #: Surrogate tier: ``"exact"`` (paper behavior, full O(n³) refits) or
+    #: ``"sparse"`` (auto-switch to a budgeted subset-of-data GP once the
+    #: dataset outgrows ``gp_sparse_threshold`` — see ``docs/optimizer.md``).
+    gp_tier: str = "exact"
+    #: The sparse tier's switch point n* and support budget.
+    gp_sparse_threshold: int = 64
 
     def __post_init__(self) -> None:
         if self.w < 0:
@@ -63,6 +69,14 @@ class HBOConfig:
             raise ConfigurationError(f"r_min must be in [0, 1), got {self.r_min}")
         if self.w_power < 0:
             raise ConfigurationError(f"w_power must be >= 0, got {self.w_power}")
+        if self.gp_tier not in ("exact", "sparse"):
+            raise ConfigurationError(
+                f"gp_tier must be 'exact' or 'sparse', got {self.gp_tier!r}"
+            )
+        if self.gp_sparse_threshold < 4:
+            raise ConfigurationError(
+                f"gp_sparse_threshold must be >= 4, got {self.gp_sparse_threshold}"
+            )
 
     @property
     def total_evaluations(self) -> int:
@@ -166,6 +180,8 @@ class HBOController:
             noise=cfg.noise,
             anchors=self._count_lattice_anchors(space),
             seed=self._rng,
+            gp_tier=cfg.gp_tier,
+            sparse_threshold=cfg.gp_sparse_threshold,
         )
 
     def _evaluate_incumbent(self, optimizer: BayesianOptimizer) -> "IterationResult":

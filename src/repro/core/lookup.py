@@ -203,6 +203,22 @@ class LookupTable:
             self._entries.remove(victim)
             self._last_use.pop(id(victim), None)
 
+    def replace(
+        self, old: StoredConfiguration, new: StoredConfiguration
+    ) -> None:
+        """Swap ``old`` (matched by identity) for ``new`` in place.
+
+        Unlike :meth:`store`, the slot keeps its recency: the eviction
+        policy must not interpret an in-place rewrite (e.g. the shared
+        store trimming observations to fit a budget) as a fresh use.
+        """
+        for i, entry in enumerate(self._entries):
+            if entry is old:
+                self._entries[i] = new
+                self._last_use[id(new)] = self._last_use.pop(id(old), 0)
+                return
+        raise ConfigurationError("replace() target is not stored in this table")
+
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses

@@ -283,13 +283,13 @@ class SharedOptimizerService:
         candidates = np.stack(
             [self._candidates(opt, rng) for opt, rng in zip(optimizers, rngs)]
         )  # (B, C, d)
-        train_x = [
-            np.asarray([o.z for o in opt.state.observations]) for opt in optimizers
-        ]
-        train_y = [
-            np.asarray([o.cost for o in opt.state.observations])
-            for opt in optimizers
-        ]
+        # surrogate_dataset() is every observation on the exact tier and
+        # the deterministic support subset on the sparse tier, so sparse
+        # sessions are priced here exactly as a per-session fit would —
+        # and they cap the padded batch width at their support budget.
+        datasets = [opt.surrogate_dataset() for opt in optimizers]
+        train_x = [x for x, _ in datasets]
+        train_y = [y for _, y in datasets]
         best_y = np.asarray([opt.best().cost for opt in optimizers])
         with obs.span(
             "fleet.batched_gp", category="fleet", n_sessions=len(optimizers)

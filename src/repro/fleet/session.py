@@ -254,6 +254,8 @@ class FleetSession:
             kernel=Matern(length_scale=cfg.kernel_length_scale, nu=2.5),
             noise=cfg.noise,
             seed=self.rng,
+            gp_tier=cfg.gp_tier,
+            sparse_threshold=cfg.gp_sparse_threshold,
         )
         if store is not None and warm_start:
             entry = store.warm_start_for(self.signature, scope=spec.device)
@@ -363,6 +365,8 @@ class FleetSession:
             kernel=Matern(length_scale=cfg.kernel_length_scale, nu=2.5),
             noise=cfg.noise,
             seed=self.rng,
+            gp_tier=cfg.gp_tier,
+            sparse_threshold=cfg.gp_sparse_threshold,
         )
         self.iteration = HBOIteration(
             self.system, self.optimizer, w=cfg.w, latency_only=cfg.latency_only

@@ -112,6 +112,17 @@ class SharedConfigStore:
     max_observations:
         Observations kept per donated entry (the lowest-cost ones); bounds
         both the store's footprint and the warm-start payload.
+    observation_budget:
+        Optional *store-wide* cap on the total number of observations
+        held across every scope and entry. ``max_observations`` bounds
+        each entry, but a busy fleet keeps adding entries, so the
+        aggregate donor set still grows without bound — exactly the
+        streaming-observation regime the sparse GP tier exists for. When
+        the budget is exceeded after a donation, :meth:`_enforce_budget`
+        trims observations from the least-recently-hit entries first
+        (highest-cost observations within each entry go first); the
+        configurations themselves survive, only their donor payloads
+        shrink. ``None`` (default) keeps the pre-budget behavior.
     """
 
     def __init__(
@@ -119,17 +130,27 @@ class SharedConfigStore:
         max_entries_per_scope: int = 64,
         similarity_threshold: float = 0.35,
         max_observations: int = 8,
+        observation_budget: Optional[int] = None,
     ) -> None:
         if max_observations < 1:
             raise ConfigurationError(
                 f"max_observations must be >= 1, got {max_observations}"
             )
+        if observation_budget is not None and observation_budget < 1:
+            raise ConfigurationError(
+                f"observation_budget must be >= 1 or None, got {observation_budget}"
+            )
         self.max_entries_per_scope = int(max_entries_per_scope)
         self.similarity_threshold = float(similarity_threshold)
         self.max_observations = int(max_observations)
+        self.observation_budget = (
+            None if observation_budget is None else int(observation_budget)
+        )
         self._tables: Dict[str, LookupTable] = {}
         self.donations = 0
         self.transfers = 0
+        #: Observations dropped by budget enforcement over the store's life.
+        self.evicted_observations = 0
 
     # ------------------------------------------------------------- tables
 
@@ -176,7 +197,48 @@ class SharedConfigStore:
         self.table_for(scope).store(entry)
         self.donations += 1
         obs.counter("store_donations", scope=scope or "default").inc()
+        self._enforce_budget()
         return entry
+
+    def _enforce_budget(self) -> None:
+        """Trim stored observations down to ``observation_budget``.
+
+        Victim order is least-recently-hit entries first (scopes visited
+        in sorted order), mirroring the table's own LRU eviction; within
+        an entry the highest-cost observations go first (donations are
+        stored cost-ascending, so the trim drops the tuple's tail). A
+        fully trimmed entry keeps its configuration: it can still serve
+        lookup hits, it just no longer ships donor observations.
+        """
+        if self.observation_budget is None:
+            return
+        excess = self.total_observations - self.observation_budget
+        if excess <= 0:
+            return
+        for scope in self.scopes():
+            table = self._tables[scope]
+            for entry in table.entries():  # least-recently-hit first
+                if excess <= 0:
+                    return
+                if not isinstance(entry, WarmStartEntry) or not entry.observations:
+                    continue
+                drop = min(excess, len(entry.observations))
+                trimmed = WarmStartEntry(
+                    signature=entry.signature,
+                    allocation=entry.allocation,
+                    triangle_ratio=entry.triangle_ratio,
+                    reward=entry.reward,
+                    observations=entry.observations[
+                        : len(entry.observations) - drop
+                    ],
+                    source_session=entry.source_session,
+                )
+                table.replace(entry, trimmed)
+                excess -= drop
+                self.evicted_observations += drop
+                obs.counter(
+                    "store_evicted_observations", scope=scope or "default"
+                ).inc(drop)
 
     def warm_start_for(
         self, signature: EnvironmentSignature, scope: str = ""
@@ -228,6 +290,16 @@ class SharedConfigStore:
         total = self.hits + self.misses
         return self.transfers / total if total else 0.0
 
+    @property
+    def total_observations(self) -> int:
+        """Observations currently held across every scope and entry."""
+        return sum(
+            len(entry.observations)
+            for table in self._tables.values()
+            for entry in table.entries()
+            if isinstance(entry, WarmStartEntry)
+        )
+
     def stats(self) -> Dict[str, Any]:
         """Fleet-wide counters, JSON-ready (used by telemetry export)."""
         return {
@@ -239,6 +311,9 @@ class SharedConfigStore:
             "donations": self.donations,
             "transfers": self.transfers,
             "transfer_rate": self.transfer_rate,
+            "total_observations": self.total_observations,
+            "observation_budget": self.observation_budget,
+            "evicted_observations": self.evicted_observations,
         }
 
     # -------------------------------------------------------- persistence
@@ -261,18 +336,27 @@ class SharedConfigStore:
             "max_entries_per_scope": self.max_entries_per_scope,
             "similarity_threshold": self.similarity_threshold,
             "max_observations": self.max_observations,
+            "observation_budget": self.observation_budget,
             "donations": self.donations,
             "transfers": self.transfers,
+            "evicted_observations": self.evicted_observations,
             "scopes": scopes_data,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SharedConfigStore":
-        """Rebuild a store from :meth:`to_dict` output."""
+        """Rebuild a store from :meth:`to_dict` output.
+
+        The eviction-budget fields shipped after the original format, so
+        they default (no budget, zero evictions) when absent — pre-budget
+        JSON saves load unchanged.
+        """
+        budget = data.get("observation_budget")
         store = cls(
             max_entries_per_scope=int(data["max_entries_per_scope"]),
             similarity_threshold=float(data["similarity_threshold"]),
             max_observations=int(data["max_observations"]),
+            observation_budget=None if budget is None else int(budget),
         )
         for scope, scope_data in data.get("scopes", {}).items():
             table = store.table_for(scope)
@@ -282,6 +366,7 @@ class SharedConfigStore:
             table.misses = int(scope_data.get("misses", 0))
         store.donations = int(data.get("donations", 0))
         store.transfers = int(data.get("transfers", 0))
+        store.evicted_observations = int(data.get("evicted_observations", 0))
         return store
 
     def save(self, path: PathLike) -> None:

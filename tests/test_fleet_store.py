@@ -217,3 +217,132 @@ class TestLookupTablePersistence:
         hit = rebuilt.lookup(_signature(tri=3_000_000, tasks=("q",)))
         assert hit is not None
         assert hit.allocation["q"] is Resource.GPU_DELEGATE
+
+
+class TestObservationBudget:
+    """Store-wide eviction budget (docs/fleet.md, eviction semantics)."""
+
+    def _budgeted(self, budget):
+        # Three far-apart signatures so entries never merge as duplicates.
+        store = SharedConfigStore(max_observations=4, observation_budget=budget)
+        for i, tri in enumerate((500_000, 2_000_000, 8_000_000)):
+            store.donate(
+                signature=_signature(tri=tri),
+                allocation=_ALLOCATION,
+                triangle_ratio=0.5,
+                reward=0.1,
+                observations=_observations([0.1 * i, 0.2, 0.3, 0.4]),
+                scope="pixel7",
+                session_id=f"s{i}",
+            )
+        return store
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SharedConfigStore(observation_budget=0)
+        SharedConfigStore(observation_budget=None)  # unbounded is fine
+
+    def test_unbounded_by_default(self):
+        store = self._budgeted(None)
+        assert store.total_observations == 12
+        assert store.evicted_observations == 0
+
+    def test_budget_trims_to_the_cap(self):
+        store = self._budgeted(6)
+        assert store.total_observations == 6
+        assert store.evicted_observations == 6
+
+    def test_trim_hits_least_recently_used_entries_first(self):
+        store = self._budgeted(None)
+        # Touch the first donation so it becomes most-recently-hit.
+        store.warm_start_for(_signature(tri=500_000), scope="pixel7")
+        store.observation_budget = 6
+        store._enforce_budget()
+        fresh = store.warm_start_for(_signature(tri=500_000), scope="pixel7")
+        assert fresh is not None
+        # The recently-hit donor kept all 4 observations; the 6 evicted
+        # ones came out of the two stale entries.
+        assert len(fresh.observations) == 4
+        assert store.total_observations == 6
+
+    def test_within_an_entry_highest_cost_goes_first(self):
+        store = SharedConfigStore(max_observations=4, observation_budget=2)
+        store.donate(
+            signature=_signature(),
+            allocation=_ALLOCATION,
+            triangle_ratio=0.5,
+            reward=0.1,
+            observations=_observations([0.4, 0.1, 0.3, 0.2]),
+            scope="pixel7",
+        )
+        entry = store.warm_start_for(_signature(), scope="pixel7")
+        assert entry is not None
+        costs = [cost for _, cost in entry.observations]
+        assert costs == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_fully_trimmed_entry_still_serves_lookups(self):
+        store = self._budgeted(4)
+        # The oldest entry lost every observation but keeps its config.
+        entries = store.table_for("pixel7").entries()
+        empty = [e for e in entries if not e.observations]
+        assert empty and empty[0].triangle_ratio == pytest.approx(0.5)
+
+    def test_budget_round_trips_through_json(self, tmp_path):
+        store = self._budgeted(6)
+        path = tmp_path / "store.json"
+        store.save(path)
+        rebuilt = SharedConfigStore.load(path)
+        assert rebuilt.observation_budget == 6
+        assert rebuilt.evicted_observations == 6
+        assert rebuilt.to_dict() == store.to_dict()
+
+    def test_pre_budget_json_loads_with_defaults(self):
+        # A pre-PR8 save has no budget fields: loading must default to
+        # unbounded with zero evictions, not KeyError.
+        store = SharedConfigStore()
+        store.donate(
+            signature=_signature(),
+            allocation=_ALLOCATION,
+            triangle_ratio=0.5,
+            reward=0.1,
+            observations=_observations([0.1]),
+            scope="pixel7",
+        )
+        legacy = store.to_dict()
+        del legacy["observation_budget"]
+        del legacy["evicted_observations"]
+        rebuilt = SharedConfigStore.from_dict(legacy)
+        assert rebuilt.observation_budget is None
+        assert rebuilt.evicted_observations == 0
+        assert rebuilt.total_observations == 1
+
+
+class TestLookupTableReplace:
+    def _entry(self, tri):
+        return StoredConfiguration(
+            signature=_signature(tri=tri),
+            allocation=_ALLOCATION,
+            triangle_ratio=0.5,
+            reward=0.1,
+        )
+
+    def test_replace_preserves_recency(self):
+        table = LookupTable(max_entries=2, similarity_threshold=0.2)
+        oldest = self._entry(500_000)
+        newest = self._entry(5_000_000)
+        table.store(oldest)
+        table.store(newest)
+        swapped = self._entry(500_000)
+        table.replace(oldest, swapped)
+        # The swapped-in entry inherited the oldest slot's recency, so the
+        # next overflow still evicts it (a plain store() would have made
+        # it the freshest entry instead).
+        table.store(self._entry(20_000_000))
+        assert swapped not in table.entries()
+        assert newest in table.entries()
+
+    def test_replace_unknown_entry_raises(self):
+        table = LookupTable()
+        table.store(self._entry(500_000))
+        with pytest.raises(ConfigurationError):
+            table.replace(self._entry(500_000), self._entry(900_000))
