@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: reprolint ruff mypy lint test fleet-smoke trace-smoke edge-smoke edge-topology-smoke gp-smoke bench bench-smoke check
+.PHONY: reprolint ruff mypy lint test fleet-smoke trace-smoke edge-smoke edge-topology-smoke gp-smoke fleet-scale-smoke bench bench-smoke check
 
 reprolint:
 	PYTHONPATH=tools $(PYTHON) -m reprolint src benchmarks examples \
@@ -76,6 +76,19 @@ gp-smoke:
 	cmp /tmp/repro-gp-smoke-a.txt /tmp/repro-gp-smoke-b.txt
 	@echo "gp-smoke: sparse-tier fleet is bit-reproducible"
 
+# Shard-parallel determinism smoke: the seed-2024 fleet stepped in 4
+# worker-process cohorts must render byte-identically to `--shards 1`
+# (the SoA core's headline contract — see docs/fleet.md).
+fleet-scale-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro fleet --sessions 12 --seed 2024 \
+		--edge-servers 3 --initial 2 --iterations 3 --shards 1 \
+		> /tmp/repro-fleet-scale-a.txt
+	PYTHONPATH=src $(PYTHON) -m repro fleet --sessions 12 --seed 2024 \
+		--edge-servers 3 --initial 2 --iterations 3 --shards 4 \
+		> /tmp/repro-fleet-scale-b.txt
+	cmp /tmp/repro-fleet-scale-a.txt /tmp/repro-fleet-scale-b.txt
+	@echo "fleet-scale-smoke: 4-shard fleet is byte-identical to shards=1"
+
 # Time the hot kernels and distill the scalar-vs-batched backend numbers
 # into the committed BENCH_pr4.json (see docs/performance.md).
 bench:
@@ -85,6 +98,7 @@ bench:
 	PYTHONPATH=src $(PYTHON) tools/bench_pr5.py BENCH_pr5.json
 	PYTHONPATH=src $(PYTHON) tools/bench_pr7.py BENCH_pr7.json
 	PYTHONPATH=src $(PYTHON) tools/bench_pr8.py BENCH_pr8.json
+	PYTHONPATH=src $(PYTHON) tools/bench_pr9.py BENCH_pr9.json
 
 # Run every microbench body once, untimed: catches API drift in the bench
 # suite without paying for calibration rounds.
@@ -92,4 +106,4 @@ bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_microbench.py -q \
 		--benchmark-disable
 
-check: lint test fleet-smoke trace-smoke edge-smoke edge-topology-smoke gp-smoke bench-smoke
+check: lint test fleet-smoke trace-smoke edge-smoke edge-topology-smoke gp-smoke fleet-scale-smoke bench-smoke

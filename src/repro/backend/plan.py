@@ -305,6 +305,126 @@ class EvalPlan:
         )
 
     @classmethod
+    def from_arrays(
+        cls,
+        *,
+        task_iso_ms: np.ndarray,
+        task_kind: np.ndarray,
+        task_cpu_demand: np.ndarray,
+        task_gpu_demand: np.ndarray,
+        task_npu_coverage: np.ndarray,
+        n_objects: np.ndarray,
+        submitted_triangles: np.ndarray,
+        rendered_triangles: np.ndarray,
+        base_gpu_streams: np.ndarray,
+        capacity: np.ndarray,
+        queue_exponent: np.ndarray,
+        nnapi_comm_ms: np.ndarray,
+        nnapi_comm_gpu_factor: np.ndarray,
+        gpu_render_saturation: np.ndarray,
+        gpu_render_exponent: np.ndarray,
+        gpu_render_rho_max: np.ndarray,
+        cpu_objects_per_stream: np.ndarray,
+        cpu_triangles_per_stream: np.ndarray,
+        gpu_objects_per_stream: np.ndarray,
+        gpu_triangles_per_stream: np.ndarray,
+        task_edge_tx_ms: Optional[np.ndarray] = None,
+        task_edge_demand: Optional[np.ndarray] = None,
+        edge_capacity: Optional[np.ndarray] = None,
+        edge_queue_exponent: Optional[np.ndarray] = None,
+        edge_extern_streams: Optional[np.ndarray] = None,
+        row_task_ids: Tuple[Tuple[str, ...], ...] = (),
+    ) -> "EvalPlan":
+        """Column-ingest constructor: heterogeneous rows, zero adapters.
+
+        The fleet's :class:`~repro.fleet.table.SessionTable` keeps these
+        exact columns preassembled and slices the stepped rows straight
+        in — no per-session ``TaskPlacement`` list, no per-call SoC
+        tabulation. Inputs are row slices of caller-owned arrays; they
+        are copied (``np.ascontiguousarray`` on an existing float64 slice
+        made by fancy indexing is already a fresh array) so the plan
+        stays immutable while the table keeps mutating.
+        """
+        return cls(
+            task_iso_ms=np.ascontiguousarray(task_iso_ms, dtype=np.float64),
+            task_kind=np.ascontiguousarray(task_kind, dtype=np.int64),
+            task_cpu_demand=np.ascontiguousarray(
+                task_cpu_demand, dtype=np.float64
+            ),
+            task_gpu_demand=np.ascontiguousarray(
+                task_gpu_demand, dtype=np.float64
+            ),
+            task_npu_coverage=np.ascontiguousarray(
+                task_npu_coverage, dtype=np.float64
+            ),
+            n_objects=np.ascontiguousarray(n_objects, dtype=np.float64),
+            submitted_triangles=np.ascontiguousarray(
+                submitted_triangles, dtype=np.float64
+            ),
+            rendered_triangles=np.ascontiguousarray(
+                rendered_triangles, dtype=np.float64
+            ),
+            base_gpu_streams=np.ascontiguousarray(
+                base_gpu_streams, dtype=np.float64
+            ),
+            capacity=np.ascontiguousarray(capacity, dtype=np.float64),
+            queue_exponent=np.ascontiguousarray(
+                queue_exponent, dtype=np.float64
+            ),
+            nnapi_comm_ms=np.ascontiguousarray(nnapi_comm_ms, dtype=np.float64),
+            nnapi_comm_gpu_factor=np.ascontiguousarray(
+                nnapi_comm_gpu_factor, dtype=np.float64
+            ),
+            gpu_render_saturation=np.ascontiguousarray(
+                gpu_render_saturation, dtype=np.float64
+            ),
+            gpu_render_exponent=np.ascontiguousarray(
+                gpu_render_exponent, dtype=np.float64
+            ),
+            gpu_render_rho_max=np.ascontiguousarray(
+                gpu_render_rho_max, dtype=np.float64
+            ),
+            cpu_objects_per_stream=np.ascontiguousarray(
+                cpu_objects_per_stream, dtype=np.float64
+            ),
+            cpu_triangles_per_stream=np.ascontiguousarray(
+                cpu_triangles_per_stream, dtype=np.float64
+            ),
+            gpu_objects_per_stream=np.ascontiguousarray(
+                gpu_objects_per_stream, dtype=np.float64
+            ),
+            gpu_triangles_per_stream=np.ascontiguousarray(
+                gpu_triangles_per_stream, dtype=np.float64
+            ),
+            task_edge_tx_ms=(
+                np.ascontiguousarray(task_edge_tx_ms, dtype=np.float64)
+                if task_edge_tx_ms is not None
+                else None
+            ),
+            task_edge_demand=(
+                np.ascontiguousarray(task_edge_demand, dtype=np.float64)
+                if task_edge_demand is not None
+                else None
+            ),
+            edge_capacity=(
+                np.ascontiguousarray(edge_capacity, dtype=np.float64)
+                if edge_capacity is not None
+                else None
+            ),
+            edge_queue_exponent=(
+                np.ascontiguousarray(edge_queue_exponent, dtype=np.float64)
+                if edge_queue_exponent is not None
+                else None
+            ),
+            edge_extern_streams=(
+                np.ascontiguousarray(edge_extern_streams, dtype=np.float64)
+                if edge_extern_streams is not None
+                else None
+            ),
+            row_task_ids=row_task_ids,
+        )
+
+    @classmethod
     def for_single_soc(
         cls,
         soc: SoCSpec,

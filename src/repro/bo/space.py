@@ -88,6 +88,29 @@ class SimplexSpace:
         noisy = np.asarray(c, dtype=float).ravel() + gen.normal(0.0, scale, self.n)
         return self.project(noisy)
 
+    def project_rows(self, c: np.ndarray) -> np.ndarray:
+        """Row-wise simplex projection of a ``(k, n)`` matrix.
+
+        Bit-identical to calling :meth:`project` per row (same sort /
+        cumsum / clip / renormalize sequence, applied along ``axis=1``).
+        """
+        v = np.asarray(c, dtype=float)
+        if v.ndim != 2 or v.shape[1] != self.n:
+            raise SearchSpaceError(
+                f"expected (k, {self.n}) rows, got shape {v.shape}"
+            )
+        if not np.all(np.isfinite(v)):
+            raise SearchSpaceError("cannot project non-finite vector")
+        u = np.sort(v, axis=1)[:, ::-1]
+        css = np.cumsum(u, axis=1)
+        rho_candidates = u + (1.0 - css) / np.arange(1, self.n + 1)
+        # Last strictly-positive candidate per row (always exists: the
+        # largest coordinate's candidate is positive).
+        rho = (self.n - 1) - np.argmax((rho_candidates > 0)[:, ::-1], axis=1)
+        theta = (css[np.arange(v.shape[0]), rho] - 1.0) / (rho + 1)
+        w = np.clip(v - theta[:, None], 0.0, None)
+        return w / np.sum(w, axis=1, dtype=float)[:, None]
+
 
 class BoxSpace:
     """An axis-aligned box ``[low_i, high_i]`` per coordinate."""
@@ -214,3 +237,30 @@ class HBOSpace:
         c = self.simplex.perturb(pt.proportions, scale, gen)
         x = self.box.perturb(np.array([pt.triangle_ratio]), scale, gen)
         return np.concatenate([c, x])
+
+    def perturb_batch(
+        self, z: np.ndarray, scale: float, k: int, rng: SeedLike
+    ) -> np.ndarray:
+        """``k`` local perturbations of ``z`` in one vectorized draw.
+
+        Stream-contract: consumes the generator exactly like ``k``
+        sequential :meth:`perturb` calls and returns bit-identical rows.
+        Each perturb call draws ``n`` normals at ``scale`` (simplex) then
+        one at ``scale * span`` (box); a single ``(k, n+1)`` draw with a
+        per-column scale vector replays that order row-major, and the
+        projections vectorize row-wise.
+        """
+        if k < 1:
+            raise SearchSpaceError(f"k must be >= 1, got {k}")
+        gen = make_rng(rng)
+        z = np.asarray(z, dtype=float).ravel()
+        if z.shape[0] != self.dim:
+            raise SearchSpaceError(f"expected {self.dim} coordinates, got {z.shape[0]}")
+        n = self.simplex.n
+        span = self.box.high - self.box.low
+        scales = np.concatenate([np.full(n, float(scale)), scale * span])
+        noisy = z[None, :] + gen.normal(0.0, scales, size=(k, self.dim))
+        out = np.empty_like(noisy)
+        out[:, :n] = self.simplex.project_rows(noisy[:, :n])
+        out[:, n:] = np.clip(noisy[:, n:], self.box.low, self.box.high)
+        return out

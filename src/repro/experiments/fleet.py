@@ -22,7 +22,7 @@ from repro.edge.topology import EdgeTopologyConfig
 from repro.errors import ExperimentError
 from repro.experiments.common import DEFAULT_SEED
 from repro.experiments.report import format_kv, format_series, format_table
-from repro.fleet.scheduler import FleetConfig, FleetResult, FleetScheduler
+from repro.fleet.scheduler import FleetConfig, FleetResult, run_fleet
 from repro.fleet.session import SessionSpec
 from repro.fleet.store import SharedConfigStore
 from repro.rng import derive_seed
@@ -106,13 +106,16 @@ def run_fleet_experiment(
     edge: Optional[EdgeConfig] = None,
     topology: Optional[EdgeTopologyConfig] = None,
     placement: str = "price-aware",
+    shards: int = 1,
 ) -> FleetExperimentResult:
     """Run the mixed fleet; pass ``warm_start=False`` for an all-cold
     control run (every session ignores the store on admission), an
     :class:`~repro.edge.runtime.EdgeConfig` to stand up one shared edge
     server all sessions offload to and contend on, or an
     :class:`~repro.edge.topology.EdgeTopologyConfig` to route sessions
-    through a multi-server topology under ``placement``."""
+    through a multi-server topology under ``placement``. ``shards > 1``
+    steps the fleet in parallel worker processes with byte-identical
+    output (see :mod:`repro.fleet.shard`)."""
     cfg = config if config is not None else HBOConfig()
     specs = default_fleet_specs(n_sessions, cfg, seed=seed)
     fleet_config = FleetConfig(
@@ -121,12 +124,17 @@ def run_fleet_experiment(
         edge=edge,
         topology=topology,
         placement=placement,
+        shards=shards,
     )
-    scheduler = FleetScheduler(
-        specs, seed=derive_seed(seed, "fleet"), config=fleet_config, store=store
+    fleet_store = store if store is not None else SharedConfigStore()
+    result = run_fleet(
+        specs,
+        seed=derive_seed(seed, "fleet"),
+        config=fleet_config,
+        store=fleet_store,
     )
     return FleetExperimentResult(
-        result=scheduler.run(), store=scheduler.store, n_sessions=n_sessions
+        result=result, store=fleet_store, n_sessions=n_sessions
     )
 
 

@@ -245,15 +245,23 @@ class SharedOptimizerService:
         if self.n_local > 0:
             incumbent = optimizer.best().z
             per_scale = max(1, self.n_local // 2)
+            # perturb_batch consumes the generator exactly like per_scale
+            # sequential perturb() calls (see HBOSpace.perturb_batch), so
+            # this vectorization leaves proposals bit-identical — it was
+            # ~50% of the fleet tick as a Python loop.
+            batch = getattr(optimizer.space, "perturb_batch", None)
             for scale in (0.05, 0.15):
-                pools.append(
-                    np.asarray(
-                        [
-                            optimizer.space.perturb(incumbent, scale, rng)
-                            for _ in range(per_scale)
-                        ]
+                if batch is not None:
+                    pools.append(batch(incumbent, scale, per_scale, rng))
+                else:
+                    pools.append(
+                        np.asarray(
+                            [
+                                optimizer.space.perturb(incumbent, scale, rng)
+                                for _ in range(per_scale)
+                            ]
+                        )
                     )
-                )
         return np.vstack(pools)
 
     def propose(

@@ -22,7 +22,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.backend.plan import EvalPlan
+import numpy as np
+
 from repro.backend.solve import solve
 from repro.core.algorithm import PendingEvaluation
 from repro.core.controller import HBOConfig
@@ -32,15 +33,10 @@ from repro.edge.server import EdgeServer
 from repro.edge.topology import EdgeTopology, EdgeTopologyConfig
 from repro.errors import FleetError
 from repro.fleet.batch import SharedOptimizerService
-from repro.fleet.session import FleetSession, SessionPhase, SessionSpec
+from repro.fleet.session import FleetSession, SessionSpec
 from repro.fleet.store import SharedConfigStore
-from repro.fleet.telemetry import (
-    FleetAggregates,
-    FleetSessionReport,
-    convergence_histogram,
-    fleet_aggregates,
-    iterations_to_converge,
-)
+from repro.fleet.table import PHASE_DONE, SessionTable
+from repro.fleet.telemetry import FleetAggregates, FleetSessionReport
 from repro.obs import runtime as obs
 from repro.rng import SeedLike, spawn_rngs
 from repro.sim.clock import SimClock
@@ -72,10 +68,17 @@ class FleetConfig:
     edge_drift: Optional[Mapping[str, Tuple[Tuple[float, float], ...]]] = None
     #: Scheduled server outages (topology mode only).
     edge_outages: Tuple[ServerOutage, ...] = ()
+    #: Shard-parallel cohorts: split the spec list into this many
+    #: contiguous blocks, each stepped in its own worker process (see
+    #: :mod:`repro.fleet.shard`). Any value reproduces the ``shards=1``
+    #: output byte-for-byte at the same seed.
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.tick_s <= 0:
             raise FleetError(f"tick_s must be > 0, got {self.tick_s}")
+        if self.shards < 1:
+            raise FleetError(f"shards must be >= 1, got {self.shards}")
         if self.edge is not None and self.topology is not None:
             raise FleetError(
                 "configure either the legacy singleton edge or a topology, "
@@ -101,6 +104,80 @@ class FleetConfig:
                         f"edge_outages names unknown node {episode.node!r} "
                         f"(topology has {sorted(names)})"
                     )
+
+
+def propose_and_begin(
+    service: SharedOptimizerService,
+    table: SessionTable,
+    sessions: Sequence[FleetSession],
+) -> Tuple[List[Tuple[int, PendingEvaluation]], List[int], int]:
+    """Batched ask + apply for every active table row, in row order.
+
+    Guided rows are grouped by the ``space_dim`` column (ascending) and
+    each group takes one :class:`SharedOptimizerService` GP pass;
+    initial-phase rows ask their own samplers. Returns the begun
+    ``(row, pending)`` pairs, the dims proposed, and the guided count —
+    shared verbatim by the in-process scheduler and the shard workers so
+    both paths step bit-identically.
+    """
+    active_idx = table.active_indices()
+    guided_mask = table.guided_mask()
+    n_guided = int(np.count_nonzero(guided_mask))
+    stepped: List[Tuple[int, PendingEvaluation]] = []
+    dims_used: List[int] = []
+    if n_guided:
+        # Sessions that fell back to the device run a 3-simplex next to
+        # their 4-simplex peers; the batched GP pass can only mix equal
+        # dimensions, so group by space dim (one group — the identical
+        # legacy call — when homogeneous).
+        guided_idx = np.nonzero(guided_mask)[0]
+        dims = table.space_dim[guided_idx]
+        for dim in np.unique(dims):
+            group = guided_idx[dims == dim]
+            dims_used.append(int(dim))
+            proposals = service.propose(
+                [sessions[i].optimizer for i in group],
+                [sessions[i].rng for i in group],
+            )
+            for i, z in zip(group, proposals):
+                stepped.append((int(i), sessions[i].begin_guided(z)))
+    for i in active_idx:
+        if not guided_mask[i]:
+            stepped.append((int(i), sessions[i].begin_initial()))
+    return stepped, dims_used, n_guided
+
+
+def batched_steady(
+    table: SessionTable,
+    sessions: Sequence[FleetSession],
+    stepped: Sequence[int],
+) -> List[Optional[Dict[str, float]]]:
+    """Steady-state latencies for all stepped table rows, one solve.
+
+    The per-tick pricing columns are refreshed for each stepped row and
+    the multi-row :class:`~repro.backend.plan.EvalPlan` is sliced
+    straight out of the table (no per-session ``TaskPlacement``
+    dataclass hop). Sessions with a thermal model get ``None`` — their
+    steady state drifts within the period, so the device resamples it
+    locally.
+    """
+    rows: List[int] = []
+    for i in stepped:
+        if table.thermal[i]:
+            continue
+        session = sessions[i]
+        assert session.system is not None
+        table.refresh_plan_row(i, session.system.device)
+        rows.append(i)
+    if not rows:
+        return [None] * len(stepped)
+    plan = table.build_plan(rows)
+    result = solve(plan, exact=True)
+    row_of = {i: r for r, i in enumerate(rows)}
+    return [
+        plan.latency_map(result.latency_ms, row_of[i]) if i in row_of else None
+        for i in stepped
+    ]
 
 
 @dataclass
@@ -165,6 +242,9 @@ class FleetScheduler:
             else None
         )
         rngs = spawn_rngs(seed, len(specs))
+        #: Columnar source of truth for lifecycle/trajectory/pricing state;
+        #: every FleetSession below is a row view into it.
+        self.table = SessionTable(specs, self.config.hbo)
         self.sessions: List[FleetSession] = [
             FleetSession(
                 spec,
@@ -174,8 +254,10 @@ class FleetScheduler:
                 edge_server=self.edge_server,
                 topology=self.topology,
                 placement=self.config.placement,
+                table=self.table,
+                index=i,
             )
-            for spec, rng in zip(specs, rngs)
+            for i, (spec, rng) in enumerate(zip(specs, rngs))
         ]
         self._session_of: Dict[str, FleetSession] = {
             s.spec.session_id: s for s in self.sessions
@@ -186,15 +268,12 @@ class FleetScheduler:
     # ------------------------------------------------------------- stepping
 
     def _admit_arrivals(self, tick: int) -> None:
-        now_s = self.clock.now_s
-        for session in self.sessions:
-            if (
-                session.phase is SessionPhase.WAITING
-                and session.spec.arrival_s <= now_s
-            ):
-                session.admit(
-                    tick, store=self.store, warm_start=self.config.warm_start
-                )
+        # Due-mask selection over the table's arrival/phase columns; the
+        # due rows come back in spec order, matching the legacy scan.
+        for i in self.table.due_indices(self.clock.now_s):
+            self.sessions[i].admit(
+                tick, store=self.store, warm_start=self.config.warm_start
+            )
 
     def step(self, tick: int) -> None:
         """One fleet tick: admit, propose (batched), evaluate, retire.
@@ -217,38 +296,24 @@ class FleetScheduler:
             if self.topology is not None:
                 self._shed_overloaded()
                 self._migrate_sessions(tick)
-            active = [s for s in self.sessions if s.active]
-            guided = [s for s in active if s.needs_guided_proposal]
-            initial = [s for s in active if not s.needs_guided_proposal]
-            stepped: List[Tuple[FleetSession, PendingEvaluation]] = []
-            if guided:
-                # Sessions that fell back to the device run a 3-simplex
-                # next to their 4-simplex peers; the batched GP pass can
-                # only mix equal dimensions, so group by space dim (one
-                # group — the identical legacy call — when homogeneous).
-                by_dim: Dict[int, List[FleetSession]] = {}
-                for session in guided:
-                    assert session.optimizer is not None
-                    by_dim.setdefault(session.optimizer.space.dim, []).append(
-                        session
-                    )
-                for dim in sorted(by_dim):
-                    group = by_dim[dim]
-                    proposals = self.service.propose(
-                        [s.optimizer for s in group], [s.rng for s in group]
-                    )
-                    for session, z in zip(group, proposals):
-                        stepped.append((session, session.begin_guided(z)))
-            for session in initial:
-                stepped.append((session, session.begin_initial()))
-            for (session, pending), steady in zip(
-                stepped, self._batched_steady(stepped)
+            # Columnar selection: active / guided / initial come from
+            # phase + observation-count masks, not attribute scans.
+            # Every active row steps, so len(stepped) is the active count.
+            table = self.table
+            stepped, _, n_guided = propose_and_begin(
+                self.service, table, self.sessions
+            )
+            for (i, pending), steady in zip(
+                stepped,
+                batched_steady(table, self.sessions, [i for i, _ in stepped]),
             ):
-                session.finish_step(pending, steady_latencies=steady)
-            for session in active:
-                if session.budget_exhausted:
-                    session.finish(tick, store=self.store)
-            span.set(n_active=len(active), n_guided=len(guided))
+                self.sessions[i].finish_step(pending, steady_latencies=steady)
+            # Batched phase transition: the budget column names this
+            # tick's retirements; per-session finish() does the heavy
+            # lifting (donation, tenancy release) in spec order.
+            for i in table.exhausted_indices():
+                self.sessions[i].finish(tick, store=self.store)
+            span.set(n_active=len(stepped), n_guided=n_guided)
             if self.topology is not None:
                 for node in self.topology.nodes:
                     obs.gauge("edge_server_load", node=node.name).set(
@@ -258,7 +323,7 @@ class FleetScheduler:
             # sim-time width (tick_s) instead of as a zero-width slice.
             self.clock.advance(self.config.tick_s)
         obs.counter("fleet_ticks").inc()
-        obs.gauge("fleet_active_sessions").set(len(active))
+        obs.gauge("fleet_active_sessions").set(len(stepped))
 
     # ----------------------------------------------------- topology upkeep
 
@@ -336,72 +401,39 @@ class FleetScheduler:
             if target is not None:
                 session.migrate_edge(target, tick)
 
-    def _batched_steady(
-        self, stepped: Sequence[Tuple[FleetSession, PendingEvaluation]]
-    ) -> List[Optional[Dict[str, float]]]:
-        """Steady-state latencies for all stepped sessions, one solve.
-
-        Sessions with a thermal model get ``None`` — their steady state
-        drifts within the period, so the device resamples it locally.
-        """
-        rows = []
-        row_of: Dict[int, int] = {}
-        for i, (session, _) in enumerate(stepped):
-            assert session.system is not None
-            device = session.system.device
-            if device.thermal is None:
-                row_of[i] = len(rows)
-                rows.append(
-                    (
-                        device.soc,
-                        device.placements(),
-                        device.load,
-                        device.edge_share(),
-                    )
-                )
-        if not rows:
-            return [None] * len(stepped)
-        plan = EvalPlan.from_placement_rows(rows)
-        result = solve(plan, exact=True)
-        return [
-            plan.latency_map(result.latency_ms, row_of[i]) if i in row_of else None
-            for i in range(len(stepped))
-        ]
-
     def run(self) -> FleetResult:
         """Drive the fleet until every session has drained."""
-        max_arrival_s = max(spec.arrival_s for spec in self.specs)
-        max_budget = max(s.budget for s in self.sessions)
+        table = self.table
+        max_arrival_s = float(table.arrival_s.max())
         max_ticks = (
-            int(math.ceil(max_arrival_s / self.config.tick_s)) + max_budget + 4
+            int(math.ceil(max_arrival_s / self.config.tick_s))
+            + table.max_budget
+            + 4
         )
         tick = 0
-        while not all(s.done for s in self.sessions):
+        while not table.all_done():
             if tick > max_ticks:
-                stuck = [s.spec.session_id for s in self.sessions if not s.done]
+                stuck = [
+                    self.specs[i].session_id
+                    for i in np.nonzero(table.phase != PHASE_DONE)[0]
+                ]
                 raise FleetError(
                     f"fleet did not drain within {max_ticks} ticks; "
                     f"stuck sessions: {stuck}"
                 )
             self.step(tick)
             tick += 1
-        # Convergence is time-to-target against the best cost anyone in
-        # the same (device, scenario, taskset) cohort ever measured, so
-        # warm and cold sessions are judged against the same bar.
-        cohort_best: Dict[Tuple[str, str, str], float] = {}
-        for session in self.sessions:
-            key = self._cohort_key(session)
-            cohort_best[key] = min(
-                cohort_best.get(key, float("inf")), session.best_cost()
-            )
-        reports = tuple(
-            self._report(s, cohort_best[self._cohort_key(s)])
-            for s in self.sessions
+        # Reports, aggregates, and the convergence histogram all come
+        # from trajectory columns; the cohort convergence target is the
+        # table's vectorized per-cohort best (value-identical to the
+        # per-session reduction, asserted in the test suite).
+        reports = table.build_reports(
+            [s.placement_outcome for s in self.sessions]
         )
         return FleetResult(
             reports=reports,
-            aggregates=fleet_aggregates(reports),
-            histogram=convergence_histogram(reports),
+            aggregates=table.aggregates(),
+            histogram=table.histogram(),
             store_stats=self.store.stats(),
             service_stats={
                 "batches": self.service.batches,
@@ -448,60 +480,23 @@ class FleetScheduler:
             },
         }
 
-    # ------------------------------------------------------------ reporting
-
-    @staticmethod
-    def _cohort_key(session: FleetSession) -> Tuple[str, str, str]:
-        spec = session.spec
-        return (spec.device, spec.scenario, spec.taskset)
-
-    def _report(
-        self, session: FleetSession, cohort_best_cost: float
-    ) -> FleetSessionReport:
-        if not session.done or session.start_tick is None or session.end_tick is None:
-            raise FleetError(
-                f"{session.spec.session_id}: cannot report an unfinished session"
-            )
-        costs = tuple(session.costs())
-        assert session.optimizer is not None  # done implies admitted
-        return FleetSessionReport(
-            session_id=session.spec.session_id,
-            device=session.spec.device,
-            scenario=session.spec.scenario,
-            taskset=session.spec.taskset,
-            arrival_s=session.spec.arrival_s,
-            start_tick=session.start_tick,
-            end_tick=session.end_tick,
-            warm_started=session.warm_started,
-            n_warm=session.optimizer.n_warm,
-            warm_source=(
-                session.warm_entry.source_session if session.warm_entry else ""
-            ),
-            costs=costs,
-            latencies_ms=tuple(
-                r.measurement.mean_latency_ms for r in session.results
-            ),
-            qualities=tuple(r.measurement.quality for r in session.results),
-            best_cost=min(costs),
-            cohort_best_cost=cohort_best_cost,
-            converged_at=iterations_to_converge(costs, target=cohort_best_cost),
-            epsilons=tuple(r.measurement.epsilon for r in session.results),
-            placed_node=(
-                session.placement_outcome.node or ""
-                if session.placement_outcome is not None
-                else ""
-            ),
-            edge_node=session.edge_node,
-            fallback_reason=session.fallback_reason,
-            migrations=session.migrations,
-        )
-
-
 def run_fleet(
     specs: Sequence[SessionSpec],
     seed: SeedLike = None,
     config: Optional[FleetConfig] = None,
     store: Optional[SharedConfigStore] = None,
 ) -> FleetResult:
-    """Build a scheduler, run the fleet, return the result."""
-    return FleetScheduler(specs, seed=seed, config=config, store=store).run()
+    """Build a scheduler, run the fleet, return the result.
+
+    ``config.shards > 1`` routes through the shard-parallel coordinator
+    (:mod:`repro.fleet.shard`); any shard count reproduces the
+    ``shards=1`` result byte-for-byte at the same seed.
+    """
+    cfg = config if config is not None else FleetConfig()
+    if cfg.shards > 1:
+        from repro.fleet.shard import ShardedFleetScheduler
+
+        return ShardedFleetScheduler(
+            specs, seed=seed, config=cfg, store=store
+        ).run()
+    return FleetScheduler(specs, seed=seed, config=cfg, store=store).run()

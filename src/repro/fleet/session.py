@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -41,6 +41,7 @@ from repro.edge.share import edge_demand
 from repro.edge.topology import EdgeTopology
 from repro.errors import FleetError
 from repro.fleet.store import SharedConfigStore, WarmStartEntry
+from repro.fleet.table import SessionTable
 from repro.obs import runtime as obs
 from repro.rng import derive_seed
 from repro.sim.scenarios import (
@@ -57,6 +58,11 @@ class SessionPhase(enum.Enum):
     WAITING = "waiting"
     ACTIVE = "active"
     DONE = "done"
+
+
+#: SessionTable integer phase codes ↔ enum members (index = code).
+_PHASES = (SessionPhase.WAITING, SessionPhase.ACTIVE, SessionPhase.DONE)
+_PHASE_CODE = {p: code for code, p in enumerate(_PHASES)}
 
 
 @dataclass(frozen=True)
@@ -131,6 +137,8 @@ class FleetSession:
         edge_server: Optional[EdgeServer] = None,
         topology: Optional[EdgeTopology] = None,
         placement: str = "price-aware",
+        table: Optional[SessionTable] = None,
+        index: int = 0,
     ) -> None:
         if edge is not None and topology is not None:
             raise FleetError(
@@ -144,33 +152,100 @@ class FleetSession:
         self._edge_server = edge_server
         self._topology = topology
         self._placement_policy = placement
+        # The session is a row view: lifecycle scalars (phase, ticks,
+        # budget cursor, best cost, trajectories) live in SessionTable
+        # columns. A standalone session owns a private 1-row table so
+        # the per-session API works without a scheduler.
+        if table is None:
+            table = SessionTable((spec,), config)
+            index = 0
+        if table.session_ids[index] != spec.session_id:
+            raise FleetError(
+                f"{spec.session_id}: bound to table row {index} which "
+                f"belongs to {table.session_ids[index]!r}"
+            )
+        self.table = table
+        self.index = int(index)
         #: Where this session landed (set on admission in topology mode).
         self.placement_outcome: Optional[PlacementOutcome] = None
-        #: Name of the node currently serving the session ("" when none).
-        self.edge_node = ""
-        #: Tick of the most recent attach (admission or migration); the
-        #: scheduler's migration dwell guard counts from here.
-        self.attached_tick: Optional[int] = None
-        self.migrations = 0
-        #: Why the session fell back to device-only mid-run ("" if never).
-        self.fallback_reason = ""
         self._link_seed: Optional[int] = None
         self._est_streams = 0.0
         self._edge_profile: Optional[StaticProfile] = None
-        self.phase = SessionPhase.WAITING
         self.system: Optional[MARSystem] = None
         self.optimizer: Optional[BayesianOptimizer] = None
         self.iteration: Optional[HBOIteration] = None
         self.signature: Optional[EnvironmentSignature] = None
         self.results: List[IterationResult] = []
         self.warm_entry: Optional[WarmStartEntry] = None
-        self.start_tick: Optional[int] = None
-        self.end_tick: Optional[int] = None
-        self.budget = (
-            spec.n_evaluations
-            if spec.n_evaluations is not None
-            else config.total_evaluations
-        )
+
+    # ------------------------------------------------------------ row views
+
+    @property
+    def phase(self) -> SessionPhase:
+        return _PHASES[int(self.table.phase[self.index])]
+
+    @phase.setter
+    def phase(self, value: SessionPhase) -> None:
+        self.table.phase[self.index] = _PHASE_CODE[value]
+
+    @property
+    def start_tick(self) -> Optional[int]:
+        tick = int(self.table.start_tick[self.index])
+        return None if tick < 0 else tick
+
+    @start_tick.setter
+    def start_tick(self, value: Optional[int]) -> None:
+        self.table.start_tick[self.index] = -1 if value is None else value
+
+    @property
+    def end_tick(self) -> Optional[int]:
+        tick = int(self.table.end_tick[self.index])
+        return None if tick < 0 else tick
+
+    @end_tick.setter
+    def end_tick(self, value: Optional[int]) -> None:
+        self.table.end_tick[self.index] = -1 if value is None else value
+
+    @property
+    def attached_tick(self) -> Optional[int]:
+        """Tick of the most recent attach (admission or migration); the
+        scheduler's migration dwell guard counts from here."""
+        tick = int(self.table.attached_tick[self.index])
+        return None if tick < 0 else tick
+
+    @attached_tick.setter
+    def attached_tick(self, value: Optional[int]) -> None:
+        self.table.attached_tick[self.index] = -1 if value is None else value
+
+    @property
+    def migrations(self) -> int:
+        return int(self.table.migrations[self.index])
+
+    @migrations.setter
+    def migrations(self, value: int) -> None:
+        self.table.migrations[self.index] = value
+
+    @property
+    def edge_node(self) -> str:
+        """Name of the node currently serving the session ("" when none)."""
+        return self.table.edge_node[self.index]
+
+    @edge_node.setter
+    def edge_node(self, value: str) -> None:
+        self.table.edge_node[self.index] = value
+
+    @property
+    def fallback_reason(self) -> str:
+        """Why the session fell back to device-only mid-run ("" if never)."""
+        return self.table.fallback_reason[self.index]
+
+    @fallback_reason.setter
+    def fallback_reason(self, value: str) -> None:
+        self.table.fallback_reason[self.index] = value
+
+    @property
+    def budget(self) -> int:
+        return int(self.table.budget[self.index])
 
     # --------------------------------------------------------------- states
 
@@ -229,6 +304,98 @@ class FleetSession:
             edge_runtime = self._admit_to_topology()
             if edge_runtime is not None:
                 self.attached_tick = tick
+        self._finish_admission(
+            tick,
+            session_seed,
+            edge_runtime,
+            store=store,
+            warm_start=warm_start,
+            entry=None,
+        )
+
+    def admit_directed(
+        self,
+        tick: int,
+        directive: Tuple,
+        warm_entry: Optional[WarmStartEntry] = None,
+    ) -> None:
+        """Shard-worker admission with coordinator-made decisions.
+
+        The coordinator owns the store and the authoritative topology, so
+        placement and warm lookup arrive as inputs; the RNG draws here
+        replay :meth:`admit`'s exact order (session seed first, link seed
+        only when an edge tenancy is actually granted), which is what
+        keeps a sharded run byte-identical to ``shards=1``.
+
+        ``directive``: ``("device",)`` (no edge), ``("legacy",)``
+        (singleton edge server), ``("node", name)`` (admitted to a
+        topology node), or ``("rejected",)`` (placement rejected —
+        device fallback, no link draw).
+        """
+        if self.phase is not SessionPhase.WAITING:
+            raise FleetError(f"{self.spec.session_id}: admitted twice")
+        spec = self.spec
+        session_seed = int(self.rng.integers(0, 2**31))
+        edge_runtime = None
+        kind = directive[0]
+        if kind == "legacy":
+            if self._edge_config is None:
+                raise FleetError(f"{spec.session_id}: no edge config to admit to")
+            link_seed = int(self.rng.integers(0, 2**31))
+            edge_runtime = build_edge_runtime(
+                config=self._edge_config,
+                seed=link_seed,
+                session_id=spec.session_id,
+                server=self._edge_server,
+            )
+            self._link_seed = link_seed
+        elif kind == "node":
+            if self._topology is None:
+                raise FleetError(f"{spec.session_id}: no topology to admit to")
+            profiles = _offloadable_profiles(spec)
+            est = 0.0
+            for profile in profiles:
+                est += edge_demand(profile)
+            self._est_streams = est
+            self._edge_profile = max(profiles, key=edge_demand)
+            link_seed = int(self.rng.integers(0, 2**31))
+            self._link_seed = link_seed
+            node = self._topology.node(directive[1])
+            link = WirelessLink(node.config.link, link_seed)
+            self._topology.attach(spec.session_id, directive[1], link)
+            self.edge_node = directive[1]
+            edge_runtime = EdgeRuntime(
+                EdgeConfig(server=node.config.server, link=node.config.link),
+                node.server,
+                link,
+                session_id=spec.session_id,
+                register=False,
+            )
+            self.attached_tick = tick
+        elif kind not in ("device", "rejected"):
+            raise FleetError(
+                f"{spec.session_id}: unknown admission directive {kind!r}"
+            )
+        self._finish_admission(
+            tick,
+            session_seed,
+            edge_runtime,
+            store=None,
+            warm_start=False,
+            entry=warm_entry,
+        )
+
+    def _finish_admission(
+        self,
+        tick: int,
+        session_seed: int,
+        edge_runtime: Optional[EdgeRuntime],
+        store: Optional[SharedConfigStore],
+        warm_start: bool,
+        entry: Optional[WarmStartEntry],
+    ) -> None:
+        """Shared admission tail: system, optimizer, warm seed, columns."""
+        spec = self.spec
         self.system = build_system(
             spec.scenario,
             spec.taskset,
@@ -259,22 +426,31 @@ class FleetSession:
         )
         if store is not None and warm_start:
             entry = store.warm_start_for(self.signature, scope=spec.device)
-            # A donor whose observations live in a different-dimensional
-            # space (a device-fallback session donating 3-simplex points
-            # into a 4-simplex fleet, or vice versa) cannot seed this
-            # optimizer; treat the hit as cold instead of corrupting the GP.
-            if (
-                entry is not None
-                and entry.observations
-                and len(entry.observations[0][0]) == space.dim
-            ):
-                self.optimizer.warm_start(entry.to_observations())
-                self.warm_entry = entry
+        # A donor whose observations live in a different-dimensional
+        # space (a device-fallback session donating 3-simplex points
+        # into a 4-simplex fleet, or vice versa) cannot seed this
+        # optimizer; treat the hit as cold instead of corrupting the GP.
+        if (
+            entry is not None
+            and entry.observations
+            and len(entry.observations[0][0]) == space.dim
+        ):
+            self.optimizer.warm_start(entry.to_observations())
+            self.warm_entry = entry
         self.iteration = HBOIteration(
             self.system, self.optimizer, w=cfg.w, latency_only=cfg.latency_only
         )
         self.phase = SessionPhase.ACTIVE
         self.start_tick = tick
+        table, i = self.table, self.index
+        table.space_dim[i] = space.dim
+        table.n_warm[i] = self.optimizer.n_warm
+        table.warm_started[i] = self.optimizer.warm_started
+        table.warm_source[i] = (
+            self.warm_entry.source_session if self.warm_entry else ""
+        )
+        table.obs_count[i] = len(self.optimizer.state.observations)
+        table.init_plan_row(i, self.system.device)
 
     def _admit_to_topology(self) -> Optional[EdgeRuntime]:
         """Ask the topology for a server; None means device fallback.
@@ -374,6 +550,13 @@ class FleetSession:
         self.edge_node = ""
         self.attached_tick = None
         self.fallback_reason = reason
+        # The rebuilt optimizer starts cold over the 3-simplex: mirror
+        # that in the table's guided-selection and warm columns.
+        table, i = self.table, self.index
+        table.space_dim[i] = space.dim
+        table.n_warm[i] = 0
+        table.warm_started[i] = False
+        table.obs_count[i] = 0
         obs.counter("edge_fallbacks", reason=reason).inc()
 
     def migrate_edge(self, node_name: str, tick: int) -> None:
@@ -451,6 +634,13 @@ class FleetSession:
             raise FleetError(f"{self.spec.session_id}: stepped while not active")
         result = self.iteration.finish(pending, steady_latencies=steady_latencies)
         self.results.append(result)
+        self.table.record_result(
+            self.index,
+            result.cost,
+            result.measurement.mean_latency_ms,
+            result.measurement.quality,
+            result.measurement.epsilon,
+        )
         return result
 
     @property
@@ -459,8 +649,13 @@ class FleetSession:
 
     def finish(
         self, tick: int, store: Optional[SharedConfigStore] = None
-    ) -> None:
-        """Lock in the best configuration and donate to the shared store."""
+    ) -> Optional[Dict[str, Any]]:
+        """Lock in the best configuration and donate to the shared store.
+
+        Returns the donation payload (the exact ``store.donate`` kwargs)
+        so a shard worker without the authoritative store can ship it to
+        the coordinator; ``None`` when the session has no signature.
+        """
         if not self.active:
             raise FleetError(f"{self.spec.session_id}: finished while not active")
         if not self.results or self.system is None or self.optimizer is None:
@@ -485,11 +680,12 @@ class FleetSession:
                 for task_id, resource in allocation.items()
             }
         self.system.apply(allocation, best.triangle_ratio)
-        if store is not None and self.signature is not None:
+        donation: Optional[Dict[str, Any]] = None
+        if self.signature is not None:
             # Donate only this session's own measurements — warm-start
             # observations would otherwise echo through the fleet forever.
             own = self.optimizer.state.observations[self.optimizer.n_warm :]
-            store.donate(
+            donation = dict(
                 signature=self.signature,
                 allocation=allocation,
                 triangle_ratio=best.triangle_ratio,
@@ -498,6 +694,8 @@ class FleetSession:
                 scope=self.spec.device,
                 session_id=self.spec.session_id,
             )
+            if store is not None:
+                store.donate(**donation)
         # Leave the shared edge server: a finished session's offloaded
         # demand must stop slowing the tenants still running.
         if self.system.device.edge is not None:
@@ -510,6 +708,7 @@ class FleetSession:
                 self.system.device.edge.release()
         self.phase = SessionPhase.DONE
         self.end_tick = tick
+        return donation
 
     # ------------------------------------------------------------ reporting
 

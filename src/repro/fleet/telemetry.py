@@ -150,6 +150,82 @@ def fleet_aggregates(reports: Sequence[FleetSessionReport]) -> FleetAggregates:
     )
 
 
+def convergence_from_columns(
+    costs: np.ndarray,
+    lengths: np.ndarray,
+    targets: np.ndarray,
+    rel_tol: float = 0.05,
+    floor: float = CONVERGENCE_FLOOR,
+) -> np.ndarray:
+    """Vectorized :func:`iterations_to_converge` over trajectory columns.
+
+    ``costs`` is the fleet's ``(n, max_budget)`` trajectory matrix,
+    ``lengths`` the valid prefix per row, ``targets`` the per-row cohort
+    bar. Value-identical to calling the scalar helper per row (same
+    threshold arithmetic, same first-hit / censoring semantics).
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    targets = np.asarray(targets, dtype=np.float64)
+    if np.any(lengths < 1):
+        raise FleetError("cannot compute convergence of an empty trajectory")
+    if rel_tol < 0:
+        raise FleetError(f"rel_tol must be >= 0, got {rel_tol}")
+    thresholds = targets + np.maximum(rel_tol * np.abs(targets), floor)
+    valid = np.arange(costs.shape[1])[None, :] < lengths[:, None]
+    with np.errstate(invalid="ignore"):  # padding slots may be NaN
+        within = valid & (costs <= thresholds[:, None])
+    hit = within.any(axis=1)
+    first = np.argmax(within, axis=1) + 1
+    return np.where(hit, first, lengths)
+
+
+def aggregates_from_columns(
+    latencies_ms: np.ndarray,
+    qualities: np.ndarray,
+    epsilons: np.ndarray,
+    lengths: np.ndarray,
+    best_cost: np.ndarray,
+    warm_started: np.ndarray,
+    converged_at: np.ndarray,
+) -> FleetAggregates:
+    """:func:`fleet_aggregates` computed from trajectory columns.
+
+    The boolean prefix mask flattens row-major — session order, then
+    period order — which is exactly the concatenation order of the
+    per-report path, so every percentile sees the same values in the
+    same positions and the outputs are bit-identical (asserted in the
+    test suite).
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    n_sessions = int(lengths.shape[0])
+    if n_sessions == 0:
+        raise FleetError("cannot aggregate an empty fleet")
+    valid = np.arange(latencies_ms.shape[1])[None, :] < lengths[:, None]
+    latencies = latencies_ms[valid]
+    pooled_qualities = qualities[valid]
+    pooled_epsilons = epsilons[valid]
+    warm_started = np.asarray(warm_started, dtype=bool)
+    warm = converged_at[warm_started]
+    cold = converged_at[~warm_started]
+    return FleetAggregates(
+        n_sessions=n_sessions,
+        n_evaluations=int(latencies.shape[0]),
+        p50_latency_ms=float(np.percentile(latencies, 50)),
+        p95_latency_ms=float(np.percentile(latencies, 95)),
+        p50_quality=float(np.percentile(pooled_qualities, 50)),
+        p95_quality=float(np.percentile(pooled_qualities, 95)),
+        mean_best_cost=float(np.mean(np.asarray(best_cost, dtype=np.float64))),
+        median_converged_warm=float(np.median(warm)) if warm.size else None,
+        median_converged_cold=float(np.median(cold)) if cold.size else None,
+        p95_epsilon=(
+            float(np.percentile(pooled_epsilons, 95))
+            if pooled_epsilons.size
+            else None
+        ),
+    )
+
+
 def convergence_histogram(
     reports: Sequence[FleetSessionReport],
 ) -> Dict[int, int]:

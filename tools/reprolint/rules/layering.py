@@ -51,6 +51,9 @@ LAYER_BANDS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
             "repro.edge.admission",
             "repro.edge.topology",
             "repro.edge.placement",
+            # Passive report/value module: fleet aggregates and
+            # convergence math, no upward knowledge of the fleet.
+            "repro.fleet.telemetry",
         ),
     ),
     ("backend", ("repro.backend",)),
@@ -59,7 +62,11 @@ LAYER_BANDS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("core", ("repro.core",)),
     ("baselines", ("repro.baselines", "repro.userstudy")),
     ("sim-harness", ("repro.sim",)),
-    ("fleet", ("repro.fleet",)),
+    # Explicit pins for the SoA core: `table` carries the fleet's typed
+    # surface (SessionSpec/HBOConfig/DeviceSimulator references), and
+    # `shard` is the process-orchestration top of the package — both
+    # stay in the fleet band even though they look lower-level.
+    ("fleet", ("repro.fleet", "repro.fleet.table", "repro.fleet.shard")),
     ("app", ("repro.experiments", "repro.cli", "repro.__main__")),
 )
 
