@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: reprolint ruff mypy lint test fleet-smoke trace-smoke edge-smoke edge-topology-smoke gp-smoke fleet-scale-smoke bench bench-smoke check
+.PHONY: reprolint ruff mypy lint test fleet-smoke trace-smoke edge-smoke edge-topology-smoke gp-smoke fleet-scale-smoke scenario-smoke bench bench-smoke check
 
 reprolint:
 	PYTHONPATH=tools $(PYTHON) -m reprolint src benchmarks examples \
@@ -89,6 +89,19 @@ fleet-scale-smoke:
 	cmp /tmp/repro-fleet-scale-a.txt /tmp/repro-fleet-scale-b.txt
 	@echo "fleet-scale-smoke: 4-shard fleet is byte-identical to shards=1"
 
+# Scenario replay smoke: compile-and-run one catalog scenario twice at a
+# fixed seed and byte-compare the replay artifacts (the catalog's
+# name+seed→identical-trace contract — see docs/scenarios.md).
+scenario-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro scenario run flash-crowd --seed 2024 \
+		--sessions 6 --initial 2 --iterations 3 \
+		--export /tmp/repro-scenario-smoke-a.json > /dev/null
+	PYTHONPATH=src $(PYTHON) -m repro scenario run flash-crowd --seed 2024 \
+		--sessions 6 --initial 2 --iterations 3 \
+		--export /tmp/repro-scenario-smoke-b.json > /dev/null
+	cmp /tmp/repro-scenario-smoke-a.json /tmp/repro-scenario-smoke-b.json
+	@echo "scenario-smoke: flash-crowd replay is byte-identical at seed 2024"
+
 # Time the hot kernels and distill the scalar-vs-batched backend numbers
 # into the committed BENCH_pr4.json (see docs/performance.md).
 bench:
@@ -99,6 +112,7 @@ bench:
 	PYTHONPATH=src $(PYTHON) tools/bench_pr7.py BENCH_pr7.json
 	PYTHONPATH=src $(PYTHON) tools/bench_pr8.py BENCH_pr8.json
 	PYTHONPATH=src $(PYTHON) tools/bench_pr9.py BENCH_pr9.json
+	PYTHONPATH=src $(PYTHON) tools/bench_pr10.py BENCH_pr10.json
 
 # Run every microbench body once, untimed: catches API drift in the bench
 # suite without paying for calibration rounds.
@@ -106,4 +120,4 @@ bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_microbench.py -q \
 		--benchmark-disable
 
-check: lint test fleet-smoke trace-smoke edge-smoke edge-topology-smoke gp-smoke fleet-scale-smoke bench-smoke
+check: lint test fleet-smoke trace-smoke edge-smoke edge-topology-smoke gp-smoke fleet-scale-smoke scenario-smoke bench-smoke

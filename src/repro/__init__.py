@@ -10,7 +10,8 @@ built here too:
 - :mod:`repro.bo` — Gaussian-process Bayesian optimization from scratch
   (Matérn-5/2 kernel, Expected Improvement, simplex-constrained space).
 - :mod:`repro.device` — a heterogeneous mobile-SoC contention simulator
-  calibrated to the paper's Table I (Pixel 7, Galaxy S22).
+  calibrated to the paper's Table I (Pixel 7, Galaxy S22) plus two
+  scaled mid/low tiers (Pixel 6a, Galaxy A54).
 - :mod:`repro.models` — the AI model zoo and the CF1/CF2 tasksets.
 - :mod:`repro.ar` — meshes, decimation, the eAR quality model (Eq. 1/2),
   the SC1/SC2 object catalogs, rendering load, and the TD heuristic.
@@ -18,6 +19,8 @@ built here too:
 - :mod:`repro.sim` — scripted sessions and the §IV-E monitoring loop.
 - :mod:`repro.fleet` — multi-session fleet serving with a shared edge
   optimizer, batched GP proposals, and cross-session warm starting.
+- :mod:`repro.scenarios` — seeded workload generators and a replayable
+  catalog of named fleet scenarios (name + seed → identical trace).
 - :mod:`repro.obs` — observability: deterministic sim-time tracing,
   a metrics registry, and Perfetto-loadable trace export.
 - :mod:`repro.experiments` — a driver per paper table/figure.
@@ -66,6 +69,13 @@ from repro.fleet import (
     run_fleet,
 )
 from repro.models import ModelZoo, TaskSet, taskset_cf1, taskset_cf2
+from repro.scenarios import (
+    ScenarioSpec,
+    compile_scenario,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+)
 from repro.obs import MetricsRegistry, Tracer, instrumented
 from repro.sim import MonitoringEngine
 from repro.sim.scenarios import build_system, fig8_event_script
@@ -104,6 +114,7 @@ __all__ = [
     "ReproError",
     "Resource",
     "Scene",
+    "ScenarioSpec",
     "Seconds",
     "SessionSpec",
     "SharedConfigStore",
@@ -116,13 +127,17 @@ __all__ = [
     "build_system",
     "catalog_sc1",
     "catalog_sc2",
+    "compile_scenario",
     "fig8_event_script",
     "galaxy_s22_soc",
+    "get_scenario",
     "instrumented",
     "ms_to_s",
     "pixel7_soc",
     "run_fleet",
+    "run_scenario",
     "s_to_ms",
+    "scenario_names",
     "taskset_cf1",
     "taskset_cf2",
 ]

@@ -15,6 +15,10 @@ Commands
 ``trace``
     Run a scenario (or a fleet, with ``--fleet N``) with observability
     enabled and emit a Perfetto-loadable trace plus a metrics snapshot.
+``scenario {list,run,export}``
+    The replayable workload catalog: list the named fleet scenarios,
+    compile-and-run one at a seed (byte-identical replay), or export its
+    spec as canonical JSON.
 ``list``
     Show the available scenarios, tasksets, devices and experiments.
 ``profiles``
@@ -40,6 +44,7 @@ from repro.experiments import (
     fig8,
     fig9,
     fleet as fleet_exp,
+    scenarios as scenario_exp,
     sweep,
     table1,
 )
@@ -74,6 +79,9 @@ _EXPERIMENTS = {
     "saturation": lambda seed, cfg: edge_exp.render_saturation(
         edge_exp.run_saturation_study(seed=seed, config=cfg)
     ),
+    "scenarios": lambda seed, cfg: scenario_exp.render(
+        scenario_exp.run_scenario_sweep(seed=seed, config=cfg)
+    ),
 }
 
 
@@ -95,7 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
     tune = sub.add_parser("tune", help="run one HBO activation")
     tune.add_argument("--scenario", choices=("SC1", "SC2"), default="SC1")
     tune.add_argument("--taskset", choices=("CF1", "CF2"), default="CF1")
-    tune.add_argument("--device", choices=(PIXEL7, GALAXY_S22), default=PIXEL7)
+    tune.add_argument("--device", choices=device_names(), default=PIXEL7)
     tune.add_argument("--weight", type=float, default=2.5, help="Eq. 3 weight w")
     tune.add_argument("--seed", type=int, default=2024)
     tune.add_argument("--iterations", type=int, default=15)
@@ -154,7 +162,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("--scenario", choices=("SC1", "SC2"), default="SC1")
     trace.add_argument("--taskset", choices=("CF1", "CF2"), default="CF1")
-    trace.add_argument("--device", choices=(PIXEL7, GALAXY_S22), default=PIXEL7)
+    trace.add_argument("--device", choices=device_names(), default=PIXEL7)
     trace.add_argument("--fleet", type=int, metavar="N", default=0,
                        help="trace an N-session fleet instead of one scenario")
     trace.add_argument("--seed", type=int, default=2024)
@@ -170,10 +178,43 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--metrics", metavar="PATH", default=None,
                        help="also write the metrics snapshot as JSON")
 
+    scen = sub.add_parser(
+        "scenario", help="seeded, replayable fleet workloads from the catalog"
+    )
+    scen_sub = scen.add_subparsers(dest="scenario_command", required=True)
+
+    scen_sub.add_parser("list", help="show the catalog entries")
+
+    scen_run = scen_sub.add_parser(
+        "run", help="compile and run one catalog scenario"
+    )
+    scen_run.add_argument("name", help="catalog entry (see `scenario list`)")
+    scen_run.add_argument("--seed", type=int, default=2024)
+    scen_run.add_argument("--iterations", type=int, default=15,
+                          help="BO-guided iterations per session")
+    scen_run.add_argument("--initial", type=int, default=5,
+                          help="random initialization points per session")
+    scen_run.add_argument("--sessions", type=int, metavar="N", default=None,
+                          help="override the scenario's population")
+    scen_run.add_argument("--mode",
+                          choices=("device", "legacy-edge", "topology"),
+                          default=None,
+                          help="re-serve the scenario through another mode")
+    scen_run.add_argument("--export", metavar="PATH", default=None,
+                          help="write the replay artifact (canonical JSON; "
+                               "byte-identical across runs at one seed)")
+
+    scen_export = scen_sub.add_parser(
+        "export", help="print a scenario spec as canonical JSON"
+    )
+    scen_export.add_argument("name", help="catalog entry")
+    scen_export.add_argument("--out", metavar="PATH", default=None,
+                             help="write to a file instead of stdout")
+
     sub.add_parser("list", help="show scenarios, devices and experiments")
 
     prof = sub.add_parser("profiles", help="print Table I for a device")
-    prof.add_argument("--device", choices=(PIXEL7, GALAXY_S22), default=PIXEL7)
+    prof.add_argument("--device", choices=device_names(), default=PIXEL7)
 
     return parser
 
@@ -341,6 +382,49 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.scenarios import (
+        dump_spec,
+        get_scenario,
+        render_run,
+        run_scenario,
+        scenario_names,
+    )
+
+    if args.scenario_command == "list":
+        for name in scenario_names():
+            spec = get_scenario(name)
+            print(f"{name:<20} {spec.serving.mode:<12} "
+                  f"{spec.n_sessions:>3} sessions  {spec.description}")
+        return 0
+    if args.scenario_command == "export":
+        text = dump_spec(get_scenario(args.name))
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"scenario spec exported to {args.out}")
+        else:
+            print(text, end="")
+        return 0
+    # run
+    config = HBOConfig(n_initial=args.initial, n_iterations=args.iterations)
+    run = run_scenario(
+        args.name,
+        seed=args.seed,
+        hbo=config,
+        n_sessions=args.sessions,
+        mode=args.mode,
+    )
+    print(render_run(run), end="")
+    if args.export:
+        from repro.scenarios import export_json
+
+        with open(args.export, "w", encoding="utf-8") as fh:
+            fh.write(export_json(run))
+        print(f"replay artifact exported to {args.export}")
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("scenarios : SC1 (heavy objects), SC2 (light objects)")
     print("tasksets  : CF1 (6 AI tasks), CF2 (3 AI tasks)")
@@ -375,6 +459,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "tune": _cmd_tune,
         "fleet": _cmd_fleet,
         "trace": _cmd_trace,
+        "scenario": _cmd_scenario,
         "list": _cmd_list,
         "profiles": _cmd_profiles,
     }

@@ -245,8 +245,18 @@ class DeviceSimulator:
             self.placements(), self._load, self.edge_share()
         )
         if self.thermal is not None:
+            # Throttling scales the SoC's clocks, so it only touches tasks
+            # that actually run on the SoC: an EDGE-offloaded task's latency
+            # is link + server time and is unaffected by phone temperature.
             factor = self.thermal.throttle_factor()
-            latencies = {tid: lat * factor for tid, lat in latencies.items()}
+            latencies = {
+                tid: (
+                    lat
+                    if self._allocation[tid] is Resource.EDGE
+                    else lat * factor
+                )
+                for tid, lat in latencies.items()
+            }
         return latencies
 
     def sample_latencies(self) -> List[LatencySample]:

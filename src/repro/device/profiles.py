@@ -31,6 +31,8 @@ from repro.errors import UnknownModelError
 
 PIXEL7 = "Google Pixel 7"
 GALAXY_S22 = "Samsung Galaxy S22"
+PIXEL6A = "Google Pixel 6a"
+GALAXY_A54 = "Samsung Galaxy A54"
 
 #: Task-type codes from Table I (plus DC for the mnist digit classifier).
 TASK_TYPES = {
@@ -222,9 +224,80 @@ _PIXEL7_PROFILES = {
     ),
 }
 
+def _scaled_profiles(
+    base: Dict[str, StaticProfile],
+    gpu_scale: float,
+    nnapi_scale: float,
+    cpu_scale: float,
+    npu_coverage_scale: float = 1.0,
+) -> Dict[str, StaticProfile]:
+    """Derive a device's Table-I-style latency table from a measured one.
+
+    The two extra tiers below were not profiled by the paper; their tables
+    are scaled interpolations of the measured Pixel-7 / S22 columns. The
+    per-resource scale factors are calibrated against public Geekbench 6 /
+    GFXBench Aztec ratios between the SoCs (see the tier constants below),
+    rounded to 0.1 ms like Table I. "NA" entries stay NA — a missing
+    delegate path does not appear on a weaker bin of the same SoC family —
+    and ``npu_coverage`` shrinks on tiers whose NPU supports fewer ops.
+    """
+    scaled: Dict[str, StaticProfile] = {}
+    scales = {
+        Resource.GPU_DELEGATE: gpu_scale,
+        Resource.NNAPI: nnapi_scale,
+        Resource.CPU: cpu_scale,
+    }
+    for name, profile in base.items():
+        latency_ms: Dict[Resource, Optional[float]] = {}
+        for resource, scale in scales.items():
+            value = profile.latency_ms.get(resource)
+            latency_ms[resource] = (
+                None if value is None else round(float(value) * scale, 1)
+            )
+        scaled[name] = StaticProfile(
+            model=profile.model,
+            task_type=profile.task_type,
+            latency_ms=latency_ms,
+            npu_coverage=round(profile.npu_coverage * npu_coverage_scale, 3),
+            cpu_demand=profile.cpu_demand,
+            gpu_demand=profile.gpu_demand,
+            input_bytes=profile.input_bytes,
+            output_bytes=profile.output_bytes,
+        )
+    return scaled
+
+
+# Mid tier: Google Pixel 6a (Tensor G1, Mali-G78). Same delegate stack as
+# the Pixel 7, one SoC generation back: Geekbench 6 multicore ratio
+# G2/G1 ≈ 1.15, GFXBench Aztec ratio ≈ 1.3, and the first-gen TPU sustains
+# slightly less of each graph, so NNAPI trails by ~1.2× with a small
+# coverage haircut.
+_PIXEL6A_PROFILES = _scaled_profiles(
+    _PIXEL7_PROFILES,
+    gpu_scale=1.3,
+    nnapi_scale=1.2,
+    cpu_scale=1.15,
+    npu_coverage_scale=0.95,
+)
+
+# Low tier: Samsung Galaxy A54 (Exynos 1380, Mali-G68 MP5). Mid-range part
+# roughly half an S22 on CPU throughput (Geekbench 6 multicore ≈ 0.55×)
+# and well under half on graphics (Aztec ≈ 0.4×); its NPU runs quantized
+# classifiers fine but falls back to the GPU for more ops, hence the
+# larger coverage haircut.
+_GALAXY_A54_PROFILES = _scaled_profiles(
+    _S22_PROFILES,
+    gpu_scale=2.4,
+    nnapi_scale=1.7,
+    cpu_scale=1.8,
+    npu_coverage_scale=0.85,
+)
+
 _DEVICE_PROFILES: Dict[str, Dict[str, StaticProfile]] = {
     PIXEL7: _PIXEL7_PROFILES,
     GALAXY_S22: _S22_PROFILES,
+    PIXEL6A: _PIXEL6A_PROFILES,
+    GALAXY_A54: _GALAXY_A54_PROFILES,
 }
 
 #: Table I's alias used in the paper text ("efficient-litev0").

@@ -11,6 +11,8 @@ throttle threshold.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.errors import ConfigurationError
 
 
@@ -72,3 +74,32 @@ class ThermalModel:
 
     def reset(self) -> None:
         self.temperature_c = self.ambient_c
+
+
+@dataclass(frozen=True)
+class ThermalSpec:
+    """Declarative thermal-episode parameters (picklable, hashable).
+
+    The fleet config and the scenario catalog carry one of these instead
+    of a live :class:`ThermalModel` — model instances hold mutable
+    temperature state and must be built fresh per session (and per shard
+    worker). Fields mirror the model's constructor; see there for
+    semantics. Validation happens in :meth:`build` via the model's own
+    constructor checks.
+    """
+
+    ambient_c: float = 30.0
+    max_heat_c: float = 25.0
+    time_constant_steps: float = 40.0
+    throttle_start_c: float = 45.0
+    throttle_slope: float = 0.02
+
+    def build(self) -> ThermalModel:
+        """A fresh, cool model with these parameters."""
+        return ThermalModel(
+            ambient_c=self.ambient_c,
+            max_heat_c=self.max_heat_c,
+            time_constant_steps=self.time_constant_steps,
+            throttle_start_c=self.throttle_start_c,
+            throttle_slope=self.throttle_slope,
+        )

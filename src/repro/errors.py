@@ -93,6 +93,13 @@ class UnknownTenantError(EdgeError):
         self.operation = operation
 
 
+class ScenarioError(ReproError):
+    """A scenario generator or catalog request was invalid (unknown
+    scenario name, malformed spec JSON, axis parameters outside their
+    documented ranges, a compiled schedule that violates the fleet's
+    admission invariants)."""
+
+
 class ObservabilityError(ReproError):
     """A tracing or metrics request was invalid (malformed metric name,
     mismatched histogram buckets, unbalanced span close, a trace file

@@ -13,71 +13,29 @@ sessions needed to come within 5% of their eventual best cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional
 
 from repro.core.controller import HBOConfig
-from repro.device.profiles import GALAXY_S22, PIXEL7
 from repro.edge.runtime import EdgeConfig
 from repro.edge.topology import EdgeTopologyConfig
-from repro.errors import ExperimentError
 from repro.experiments.common import DEFAULT_SEED
 from repro.experiments.report import format_kv, format_series, format_table
 from repro.fleet.scheduler import FleetConfig, FleetResult, run_fleet
-from repro.fleet.session import SessionSpec
 from repro.fleet.store import SharedConfigStore
 from repro.rng import derive_seed
 
-#: The (device, scenario, taskset) cohorts the default fleet mixes.
-COHORTS: Tuple[Tuple[str, str, str], ...] = (
-    (PIXEL7, "SC1", "CF1"),
-    (GALAXY_S22, "SC1", "CF1"),
-    (PIXEL7, "SC2", "CF2"),
-    (GALAXY_S22, "SC2", "CF2"),
-)
+# The cohort table and the hand-written staggered schedule moved to the
+# scenario generator (they are the catalog's `legacy-fleet` entry now);
+# re-exported here because this was their public home.
+from repro.scenarios.generator import COHORTS, default_fleet_specs
 
-
-def default_fleet_specs(
-    n_sessions: int,
-    config: HBOConfig,
-    seed: int = DEFAULT_SEED,
-    follow_gap_s: float = 3.0,
-) -> List[SessionSpec]:
-    """A mixed-cohort fleet with staggered arrivals.
-
-    One donor per cohort arrives at t = 0 and optimizes cold; the
-    remaining sessions round-robin over the cohorts and arrive (staggered
-    by ``follow_gap_s``) only after every donor has finished, so each
-    finds a matching donation in the store. Sessions within a cohort share
-    a placement seed (identical scenes → signature distance 0) but keep
-    independent measurement-noise streams.
-    """
-    if n_sessions < 1:
-        raise ExperimentError(f"n_sessions must be >= 1, got {n_sessions}")
-    cohorts = COHORTS[: min(len(COHORTS), n_sessions)]
-    donors_done_s = float(config.total_evaluations + 2)
-    specs: List[SessionSpec] = []
-    for index in range(n_sessions):
-        device, scenario, taskset = cohorts[index % len(cohorts)]
-        is_donor = index < len(cohorts)
-        follower_rank = index - len(cohorts)
-        specs.append(
-            SessionSpec(
-                session_id=f"s{index:02d}-{''.join(device.split()[1:]).lower()}-{scenario}",
-                device=device,
-                scenario=scenario,
-                taskset=taskset,
-                arrival_s=(
-                    0.0 if is_donor else donors_done_s + follow_gap_s * follower_rank
-                ),
-                placement_seed=derive_seed(seed, "fleet-placement", scenario, device),
-                # Spread users across the topology's distance axis so the
-                # `nearest` placement policy has real choices to make
-                # (pure function of the index; unused outside topology
-                # mode, where the field is simply ignored).
-                position=10.0 * (index % 4),
-            )
-        )
-    return specs
+__all__ = [
+    "COHORTS",
+    "FleetExperimentResult",
+    "default_fleet_specs",
+    "render",
+    "run_fleet_experiment",
+]
 
 
 @dataclass(frozen=True)

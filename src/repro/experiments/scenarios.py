@@ -1,0 +1,150 @@
+"""Scenario sweep: catalog workloads × serving modes.
+
+Beyond the paper's single-session studies: the scenario catalog
+(:mod:`repro.scenarios`) describes whole-fleet workloads — traffic
+waves, flash crowds, mobility, thermal episodes, device-tier mixes —
+and this driver runs each of them under more than one serving mode so
+the tail-latency cost of a workload can be read off against how it is
+served. The headline columns are pooled p95 ε (Eq. 4 normalized
+latency) and the fleet's median periods-to-target.
+
+``repro experiment scenarios`` renders the grid;
+``tools/bench_pr10.py`` distills the same sweep into ``BENCH_pr10.json``.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.controller import HBOConfig
+from repro.experiments.common import DEFAULT_SEED
+from repro.experiments.report import format_table
+from repro.scenarios.runner import ScenarioRun, run_scenario
+
+#: Catalog entries the sweep covers (the acceptance floor is six).
+SWEEP_SCENARIOS: Tuple[str, ...] = (
+    "diurnal-baseline",
+    "flash-crowd",
+    "commuter-mobility",
+    "hot-device",
+    "mixed-fleet-churn",
+    "low-tier-surge",
+)
+
+#: Serving modes each scenario is re-served through.
+SWEEP_MODES: Tuple[str, ...] = ("device", "topology")
+
+
+@dataclass(frozen=True)
+class ScenarioSweepCell:
+    """One (scenario, serving mode) run, reduced to its headline numbers."""
+
+    scenario: str
+    mode: str
+    n_sessions: int
+    p95_epsilon: Optional[float]
+    p95_latency_ms: float
+    mean_best_cost: float
+    #: Median periods-to-cohort-target across every session in the cell.
+    median_converged: float
+
+
+@dataclass(frozen=True)
+class ScenarioSweepResult:
+    """The full grid, row-major in (scenario, mode) order."""
+
+    cells: Tuple[ScenarioSweepCell, ...]
+    seed: int
+    n_sessions: int
+
+
+def _cell_from_run(run: ScenarioRun, mode: str) -> ScenarioSweepCell:
+    agg = run.result.aggregates
+    return ScenarioSweepCell(
+        scenario=run.compiled.spec.name,
+        mode=mode,
+        n_sessions=len(run.compiled.session_specs),
+        p95_epsilon=agg.p95_epsilon,
+        p95_latency_ms=agg.p95_latency_ms,
+        mean_best_cost=agg.mean_best_cost,
+        median_converged=float(
+            statistics.median(r.converged_at for r in run.result.reports)
+        ),
+    )
+
+
+def run_scenario_sweep(
+    seed: int = DEFAULT_SEED,
+    config: Optional[HBOConfig] = None,
+    n_sessions: int = 6,
+    scenarios: Tuple[str, ...] = SWEEP_SCENARIOS,
+    modes: Tuple[str, ...] = SWEEP_MODES,
+) -> ScenarioSweepResult:
+    """Run every scenario under every serving mode.
+
+    ``n_sessions`` shrinks each scenario's population uniformly so the
+    grid stays tractable at paper-default budgets; the workload axes
+    (arrival shape, mixes, mobility, thermal) are untouched, which keeps
+    cells comparable along both axes.
+    """
+    cfg = config if config is not None else HBOConfig()
+    cells = []
+    for name in scenarios:
+        for mode in modes:
+            run = run_scenario(
+                name, seed=seed, hbo=cfg, n_sessions=n_sessions, mode=mode
+            )
+            cells.append(_cell_from_run(run, mode))
+    return ScenarioSweepResult(
+        cells=tuple(cells), seed=seed, n_sessions=n_sessions
+    )
+
+
+def render(result: ScenarioSweepResult) -> str:
+    """The sweep grid as an aligned table plus per-scenario deltas."""
+    rows = []
+    for cell in result.cells:
+        rows.append(
+            (
+                cell.scenario,
+                cell.mode,
+                cell.n_sessions,
+                "n/a" if cell.p95_epsilon is None
+                else f"{cell.p95_epsilon:.4f}",
+                f"{cell.p95_latency_ms:.2f}",
+                f"{cell.mean_best_cost:.4f}",
+                f"{cell.median_converged:.1f}",
+            )
+        )
+    table = format_table(
+        (
+            "scenario", "serving", "sessions", "p95 eps", "p95 lat ms",
+            "mean best", "med conv",
+        ),
+        rows,
+        title=(
+            f"scenario sweep (seed {result.seed}, "
+            f"{result.n_sessions} sessions per cell)"
+        ),
+    )
+    lines = [table, ""]
+    by_scenario: dict = {}
+    for cell in result.cells:
+        by_scenario.setdefault(cell.scenario, []).append(cell)
+    for name, cells in by_scenario.items():
+        served = [c for c in cells if c.mode != "device"]
+        device = [c for c in cells if c.mode == "device"]
+        if not served or not device:
+            continue
+        base = device[0]
+        for cell in served:
+            if base.p95_epsilon is None or cell.p95_epsilon is None:
+                continue
+            delta = cell.p95_epsilon - base.p95_epsilon
+            lines.append(
+                f"{name}: serving via {cell.mode} moves p95 eps by "
+                f"{delta:+.4f} vs device-only"
+            )
+    return "\n".join(lines) + "\n"

@@ -39,8 +39,10 @@ from repro.fleet.table import PHASE_DONE, SessionTable
 from repro.fleet.telemetry import FleetAggregates, FleetSessionReport
 from repro.obs import runtime as obs
 from repro.rng import SeedLike, spawn_rngs
+from repro.device.thermal import ThermalSpec
 from repro.sim.clock import SimClock
-from repro.sim.scenarios import ServerOutage, network_drift_scale
+from repro.sim.events import SceneEvent
+from repro.sim.scenarios import ServerOutage, apply_network_drift, network_drift_scale
 
 
 @dataclass(frozen=True)
@@ -73,6 +75,26 @@ class FleetConfig:
     #: :mod:`repro.fleet.shard`). Any value reproduces the ``shards=1``
     #: output byte-for-byte at the same seed.
     shards: int = 1
+    #: Thermal-throttling gate (off by default): when set, sessions whose
+    #: spec carries ``thermal=True`` get a fresh
+    #: :class:`~repro.device.thermal.ThermalModel` built from these
+    #: parameters on admission. ``None`` keeps every device athermal
+    #: regardless of spec flags — the legacy byte-identical path.
+    thermal: Optional[ThermalSpec] = None
+    #: Per-session scene-event scripts, session id → time-sorted events
+    #: (absolute fleet sim time). The scheduler fires each session's due
+    #: events once, right before that tick's proposals, so the §IV-E
+    #: distance→culling→latency mechanism runs inside fleet runs. Built
+    #: by the scenario engine's mobility axis; ``None`` (default) is the
+    #: legacy static-scene path. Requires ``shards == 1``.
+    session_events: Optional[Mapping[str, Tuple[SceneEvent, ...]]] = None
+    #: Per-session wireless-link bandwidth schedules, session id →
+    #: (time_s, scale) breakpoints — the mobility axis's link half (a
+    #: user walking away from their serving cell). Applied to the
+    #: session's own link each tick; scales must respect the link's
+    #: ``[min_scale, max_scale]`` band. Requires an edge (legacy or
+    #: topology) and ``shards == 1``.
+    link_drift: Optional[Mapping[str, Tuple[Tuple[float, float], ...]]] = None
 
     def __post_init__(self) -> None:
         if self.tick_s <= 0:
@@ -104,6 +126,22 @@ class FleetConfig:
                         f"edge_outages names unknown node {episode.node!r} "
                         f"(topology has {sorted(names)})"
                     )
+        if self.shards > 1 and (self.session_events or self.link_drift):
+            raise FleetError(
+                "session_events/link_drift run in the coordinator's tick "
+                "loop and are not shard-aware; use shards=1"
+            )
+        if self.link_drift and self.edge is None and self.topology is None:
+            raise FleetError(
+                "link_drift needs an edge (legacy or topology) — device-only "
+                "sessions have no wireless link to drift"
+            )
+        for sid, script in (self.session_events or {}).items():
+            times = [event.time_s for event in script]
+            if times != sorted(times):
+                raise FleetError(
+                    f"session_events[{sid!r}] must be time-sorted"
+                )
 
 
 def propose_and_begin(
@@ -256,12 +294,23 @@ class FleetScheduler:
                 placement=self.config.placement,
                 table=self.table,
                 index=i,
+                thermal=self.config.thermal,
             )
             for i, (spec, rng) in enumerate(zip(specs, rngs))
         ]
         self._session_of: Dict[str, FleetSession] = {
             s.spec.session_id: s for s in self.sessions
         }
+        known = set(self._session_of)
+        for field_name in ("session_events", "link_drift"):
+            mapping = getattr(self.config, field_name) or {}
+            unknown = sorted(set(mapping) - known)
+            if unknown:
+                raise FleetError(
+                    f"{field_name} names unknown session ids: {unknown}"
+                )
+        #: Per-session cursor into its event script (events fire once).
+        self._event_cursors: Dict[str, int] = {}
         self._shed_fallbacks = 0
         self._outage_fallbacks = 0
 
@@ -296,6 +345,8 @@ class FleetScheduler:
             if self.topology is not None:
                 self._shed_overloaded()
                 self._migrate_sessions(tick)
+            if self.config.session_events or self.config.link_drift:
+                self._apply_scenario_hooks()
             # Columnar selection: active / guided / initial come from
             # phase + observation-count masks, not attribute scans.
             # Every active row steps, so len(stepped) is the active count.
@@ -324,6 +375,40 @@ class FleetScheduler:
             self.clock.advance(self.config.tick_s)
         obs.counter("fleet_ticks").inc()
         obs.gauge("fleet_active_sessions").set(len(stepped))
+
+    # ----------------------------------------------------- scenario hooks
+
+    def _apply_scenario_hooks(self) -> None:
+        """Fire due scene events and scheduled per-session link drift.
+
+        Runs after admissions/shed/migrate and before the batched
+        proposals, so a scene or link change takes effect inside the same
+        tick's evaluation. Sessions are visited in spec order and each
+        event fires exactly once (a per-session cursor); events due while
+        a session was still waiting all fire on its first active tick.
+        Per-session drift is applied after topology-level cell drift
+        (:meth:`_maintain_topology`), so a mobility schedule wins over
+        its node's backhaul schedule for that session's own link.
+        """
+        now_s = self.clock.now_s
+        events = self.config.session_events or {}
+        drift = self.config.link_drift or {}
+        for session in self.sessions:
+            if not session.active or session.system is None:
+                continue
+            sid = session.spec.session_id
+            script = events.get(sid)
+            if script:
+                cursor = self._event_cursors.get(sid, 0)
+                while cursor < len(script) and script[cursor].time_s <= now_s:
+                    script[cursor].apply(session.system.scene)
+                    obs.counter("fleet_scene_events").inc()
+                    cursor += 1
+                self._event_cursors[sid] = cursor
+            schedule = drift.get(sid)
+            runtime = session.system.device.edge
+            if schedule and runtime is not None:
+                apply_network_drift(runtime.link, now_s, tuple(schedule))
 
     # ----------------------------------------------------- topology upkeep
 

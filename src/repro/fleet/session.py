@@ -33,6 +33,7 @@ from repro.core.lookup import EnvironmentSignature
 from repro.core.system import MARSystem
 from repro.device.profiles import PIXEL7, StaticProfile
 from repro.device.resources import Resource
+from repro.device.thermal import ThermalSpec
 from repro.edge.link import WirelessLink
 from repro.edge.placement import PlacementOutcome, PlacementRequest, place
 from repro.edge.runtime import EdgeConfig, EdgeRuntime, build_edge_runtime
@@ -89,6 +90,11 @@ class SessionSpec:
     #: Override the per-session evaluation budget (defaults to the HBO
     #: config's ``total_evaluations``).
     n_evaluations: Optional[int] = None
+    #: Mark this session as running hot: when the fleet config also sets
+    #: ``thermal`` (the gate), the session's device gets a
+    #: :class:`~repro.device.thermal.ThermalModel` built from it and its
+    #: on-SoC latencies inflate as sustained load heats the chip.
+    thermal: bool = False
 
     def __post_init__(self) -> None:
         if not self.session_id:
@@ -139,6 +145,7 @@ class FleetSession:
         placement: str = "price-aware",
         table: Optional[SessionTable] = None,
         index: int = 0,
+        thermal: Optional[ThermalSpec] = None,
     ) -> None:
         if edge is not None and topology is not None:
             raise FleetError(
@@ -152,6 +159,10 @@ class FleetSession:
         self._edge_server = edge_server
         self._topology = topology
         self._placement_policy = placement
+        # Double gate: the fleet config supplies the parameters AND the
+        # spec opts this session in — either alone leaves the device
+        # athermal, so legacy configs are byte-identical.
+        self._thermal_spec = thermal if spec.thermal else None
         # The session is a row view: lifecycle scalars (phase, ticks,
         # budget cursor, best cost, trajectories) live in SessionTable
         # columns. A standalone session owns a private 1-row table so
@@ -405,6 +416,11 @@ class FleetSession:
             samples_per_period=spec.samples_per_period,
             place_objects=False,
             edge=edge_runtime,
+            thermal=(
+                self._thermal_spec.build()
+                if self._thermal_spec is not None
+                else None
+            ),
         )
         place_catalog(
             self.system.scene,

@@ -174,6 +174,7 @@ class _ShardWorker:
                 placement=config.placement,
                 table=self.table,
                 index=i,
+                thermal=config.thermal,
             )
             for i, (spec, rng) in enumerate(zip(specs, rngs))
         ]

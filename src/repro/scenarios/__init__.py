@@ -1,0 +1,88 @@
+"""Scenario diversity engine: seeded generators + a replayable catalog.
+
+``generator`` holds the pure axis functions (arrival processes, device
+and workload mixes, mobility schedules, thermal flags); ``catalog``
+freezes named combinations into :class:`ScenarioSpec` entries and
+compiles ``(spec, seed)`` into fleet-ready configs; ``runner`` executes
+compiled scenarios and exports byte-stable artifacts.
+
+Everything here is deterministic by construction — each axis draws from
+its own :func:`repro.rng.derive_seed` stream — so a scenario name plus a
+seed is a complete, replayable description of a fleet workload.
+"""
+
+from repro.scenarios.catalog import (
+    ArrivalSpec,
+    CompiledScenario,
+    DeviceMixSpec,
+    MobilitySpec,
+    ScenarioSpec,
+    ServingSpec,
+    ThermalEpisodeSpec,
+    WorkloadMixSpec,
+    compile_scenario,
+    dump_spec,
+    get_scenario,
+    load_spec,
+    scenario_names,
+    spec_from_dict,
+    spec_to_dict,
+    with_serving_mode,
+)
+from repro.scenarios.generator import (
+    COHORTS,
+    DEFAULT_SEED,
+    default_fleet_specs,
+    device_mix,
+    diurnal_arrivals,
+    flash_crowd_arrivals,
+    mobility_events,
+    mobility_flags,
+    mobility_link_schedule,
+    thermal_flags,
+    user_positions,
+    workload_mix,
+)
+from repro.scenarios.runner import (
+    ScenarioRun,
+    export_json,
+    export_run,
+    render_run,
+    run_scenario,
+)
+
+__all__ = [
+    "ArrivalSpec",
+    "COHORTS",
+    "CompiledScenario",
+    "DEFAULT_SEED",
+    "DeviceMixSpec",
+    "MobilitySpec",
+    "ScenarioRun",
+    "ScenarioSpec",
+    "ServingSpec",
+    "ThermalEpisodeSpec",
+    "WorkloadMixSpec",
+    "compile_scenario",
+    "default_fleet_specs",
+    "device_mix",
+    "diurnal_arrivals",
+    "dump_spec",
+    "export_json",
+    "export_run",
+    "flash_crowd_arrivals",
+    "get_scenario",
+    "load_spec",
+    "mobility_events",
+    "mobility_flags",
+    "mobility_link_schedule",
+    "render_run",
+    "run_scenario",
+    "scenario_names",
+    "spec_from_dict",
+    "spec_to_dict",
+    "thermal_flags",
+    "user_positions",
+    "with_serving_mode",
+    "workload_mix",
+]

@@ -27,8 +27,15 @@ from repro.ar.renderer import RenderLoadModel
 from repro.ar.scene import Scene
 from repro.core.system import MARSystem
 from repro.device.executor import DeviceSimulator
-from repro.device.profiles import GALAXY_S22, PIXEL7
-from repro.device.soc import SoCSpec, galaxy_s22_soc, pixel7_soc
+from repro.device.profiles import GALAXY_A54, GALAXY_S22, PIXEL6A, PIXEL7
+from repro.device.soc import (
+    SoCSpec,
+    galaxy_a54_soc,
+    galaxy_s22_soc,
+    pixel6a_soc,
+    pixel7_soc,
+)
+from repro.device.thermal import ThermalModel
 from repro.edge.link import WirelessLink
 from repro.edge.runtime import EdgeRuntime, extend_taskset
 from repro.errors import ConfigurationError
@@ -39,7 +46,12 @@ from repro.sim.events import DistanceChange, ObjectPlacement, SceneEvent, valida
 ScenarioName = Literal["SC1", "SC2"]
 TasksetName = Literal["CF1", "CF2"]
 
-_SOC_FACTORIES = {PIXEL7: pixel7_soc, GALAXY_S22: galaxy_s22_soc}
+_SOC_FACTORIES = {
+    PIXEL7: pixel7_soc,
+    GALAXY_S22: galaxy_s22_soc,
+    PIXEL6A: pixel6a_soc,
+    GALAXY_A54: galaxy_a54_soc,
+}
 
 
 def scenario_catalog(name: str) -> List[Tuple[VirtualObject, int]]:
@@ -89,6 +101,7 @@ def build_system(
     soc: Optional[SoCSpec] = None,
     place_objects: bool = True,
     edge: Optional[EdgeRuntime] = None,
+    thermal: Optional[ThermalModel] = None,
 ) -> MARSystem:
     """Assemble a ready-to-run MAR system for a paper scenario.
 
@@ -98,6 +111,10 @@ def build_system(
     EdgeRuntime` extends every CPU-capable task with an ``EDGE`` latency
     row and attaches the runtime to the device (N becomes 4); ``None``
     (the default) leaves the build byte-identical to the pre-edge path.
+    ``thermal`` attaches a :class:`~repro.device.thermal.ThermalModel` to
+    the device (a beyond-the-paper extension used by the scenario
+    engine's hot-device episodes); ``None`` keeps the device athermal and
+    the build unchanged.
     """
     if device not in _SOC_FACTORIES:
         raise ConfigurationError(
@@ -113,6 +130,7 @@ def build_system(
     device_sim = DeviceSimulator(
         soc if soc is not None else _SOC_FACTORIES[device](),
         noise_sigma=noise_sigma,
+        thermal=thermal,
         seed=derive_seed(seed, "device-noise"),
         edge=edge,
     )

@@ -3,7 +3,9 @@
 import pytest
 
 from repro.device.profiles import (
+    GALAXY_A54,
     GALAXY_S22,
+    PIXEL6A,
     PIXEL7,
     canonical_model_name,
     device_names,
@@ -53,7 +55,40 @@ class TestTable1Data:
         assert set(model_names(PIXEL7)) == set(model_names(GALAXY_S22))
 
     def test_device_names(self):
-        assert set(device_names()) == {PIXEL7, GALAXY_S22}
+        assert set(device_names()) == {PIXEL7, GALAXY_S22, PIXEL6A, GALAXY_A54}
+
+
+class TestScaledTiers:
+    """The mid/low tiers are scaled interpolations of the measured tables."""
+
+    def test_tiers_cover_same_models(self):
+        for tier in (PIXEL6A, GALAXY_A54):
+            assert set(model_names(tier)) == set(model_names(PIXEL7))
+
+    @pytest.mark.parametrize(
+        "tier,base", [(PIXEL6A, PIXEL7), (GALAXY_A54, GALAXY_S22)]
+    )
+    def test_tier_is_strictly_slower_than_base(self, tier, base):
+        for model in model_names(base):
+            base_profile = get_profile(base, model)
+            tier_profile = get_profile(tier, model)
+            for resource in (Resource.GPU_DELEGATE, Resource.NNAPI, Resource.CPU):
+                if not base_profile.supports(resource):
+                    assert not tier_profile.supports(resource)
+                    continue
+                assert tier_profile.latency(resource) > base_profile.latency(resource)
+
+    @pytest.mark.parametrize(
+        "tier,base", [(PIXEL6A, PIXEL7), (GALAXY_A54, GALAXY_S22)]
+    )
+    def test_tier_io_payloads_match_base(self, tier, base):
+        """Offload payloads are model properties, not device properties."""
+        for model in model_names(base):
+            base_profile = get_profile(base, model)
+            tier_profile = get_profile(tier, model)
+            assert tier_profile.input_bytes == base_profile.input_bytes
+            assert tier_profile.output_bytes == base_profile.output_bytes
+            assert tier_profile.npu_coverage <= base_profile.npu_coverage
 
 
 class TestAffinity:

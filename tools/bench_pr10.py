@@ -1,0 +1,162 @@
+"""Measure the scenario engine: sweep the catalog across serving modes →
+BENCH_pr10.json.
+
+Usage: PYTHONPATH=src python tools/bench_pr10.py <output-json>
+
+Three claims from the scenario-catalog PR, each gated:
+
+1. **Replay** — ``compile + run`` of a catalog scenario at a fixed seed
+   must export byte-identical artifacts across two fresh runs (the
+   name+seed→identical-trace contract). Any drift exits non-zero.
+2. **Coverage** — the sweep must complete every catalog scenario in
+   ``SWEEP_SCENARIOS`` under every mode in ``SWEEP_MODES`` (≥6×2 cells),
+   each cell draining its full session population to finite best costs,
+   and lands per-cell p95 ε / median time-to-target in the report.
+3. **Legacy parity** — compiling the ``legacy-fleet`` entry at seed 2024
+   must reproduce the pre-catalog ``run_fleet_experiment`` session
+   reports exactly: the catalog is a superset of the old driver, not a
+   fork of it.
+
+Timings are host-dependent and re-measured by every ``make bench``; the
+replay and parity checks are exact on any host.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+import time
+from typing import Any, Dict
+
+from repro.core.controller import HBOConfig
+from repro.experiments.fleet import run_fleet_experiment
+from repro.experiments.scenarios import (
+    SWEEP_MODES,
+    SWEEP_SCENARIOS,
+    run_scenario_sweep,
+)
+from repro.scenarios import export_json, run_scenario
+
+SEED = 2024
+N_SESSIONS = 6
+BENCH_CONFIG = HBOConfig(n_initial=2, n_iterations=3)
+REPLAY_SCENARIO = "flash-crowd"
+
+
+def run() -> Dict[str, Any]:
+    first = export_json(
+        run_scenario(
+            REPLAY_SCENARIO, seed=SEED, hbo=BENCH_CONFIG,
+            n_sessions=N_SESSIONS,
+        )
+    )
+    second = export_json(
+        run_scenario(
+            REPLAY_SCENARIO, seed=SEED, hbo=BENCH_CONFIG,
+            n_sessions=N_SESSIONS,
+        )
+    )
+    replay = {
+        "scenario": REPLAY_SCENARIO,
+        "seed": SEED,
+        "byte_identical": first == second,
+        "artifact_bytes": len(first),
+    }
+
+    start = time.perf_counter()
+    sweep = run_scenario_sweep(
+        seed=SEED, config=BENCH_CONFIG, n_sessions=N_SESSIONS
+    )
+    sweep_s = time.perf_counter() - start
+    cells = [
+        {
+            "scenario": cell.scenario,
+            "mode": cell.mode,
+            "n_sessions": cell.n_sessions,
+            "p95_epsilon": cell.p95_epsilon,
+            "p95_latency_ms": cell.p95_latency_ms,
+            "mean_best_cost": cell.mean_best_cost,
+            "median_periods_to_target": cell.median_converged,
+        }
+        for cell in sweep.cells
+    ]
+    coverage = {
+        "scenarios": list(SWEEP_SCENARIOS),
+        "modes": list(SWEEP_MODES),
+        "n_cells": len(cells),
+        "sweep_s": round(sweep_s, 2),
+        "all_sessions_finished": all(
+            cell.n_sessions == N_SESSIONS for cell in sweep.cells
+        ),
+        "all_costs_finite": all(
+            math.isfinite(cell.mean_best_cost) for cell in sweep.cells
+        ),
+    }
+
+    legacy_cfg = HBOConfig(n_initial=3, n_iterations=5)
+    catalog_run = run_scenario(
+        "legacy-fleet", seed=SEED, hbo=legacy_cfg, n_sessions=8
+    )
+    direct = run_fleet_experiment(seed=SEED, config=legacy_cfg, n_sessions=8)
+    parity = {
+        "seed": SEED,
+        "n_sessions": 8,
+        "reports_identical": catalog_run.result.reports == direct.result.reports,
+    }
+
+    return {
+        "source": "tools/bench_pr10.py (make bench)",
+        "setup": {
+            "hbo": {"n_initial": 2, "n_iterations": 3},
+            "n_sessions_per_cell": N_SESSIONS,
+            "seed": SEED,
+        },
+        "headline": {
+            "replay_byte_identical": replay["byte_identical"],
+            "cells_completed": coverage["n_cells"],
+            "min_cells": len(SWEEP_SCENARIOS) * len(SWEEP_MODES),
+            "all_costs_finite": coverage["all_costs_finite"],
+            "legacy_reports_identical": parity["reports_identical"],
+        },
+        "replay": replay,
+        "sweep": {"coverage": coverage, "cells": cells},
+        "legacy_parity": parity,
+    }
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        raise SystemExit(__doc__)
+    report = run()
+    headline = report["headline"]
+    if not headline["replay_byte_identical"]:
+        raise SystemExit(
+            f"bench_pr10: two runs of {REPLAY_SCENARIO!r} at seed {SEED} "
+            "exported different bytes — the replay contract is broken"
+        )
+    if headline["cells_completed"] < headline["min_cells"]:
+        raise SystemExit(
+            f"bench_pr10: sweep produced {headline['cells_completed']} "
+            f"cells (need >= {headline['min_cells']}) — a scenario or "
+            "serving mode failed to run"
+        )
+    if not headline["all_costs_finite"]:
+        raise SystemExit(
+            "bench_pr10: a sweep cell reported a non-finite mean best "
+            "cost — some session never optimized"
+        )
+    if not headline["legacy_reports_identical"]:
+        raise SystemExit(
+            "bench_pr10: the legacy-fleet catalog entry no longer "
+            "reproduces run_fleet_experiment's session reports — the "
+            "catalog forked the legacy schedule"
+        )
+    with open(sys.argv[1], "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {sys.argv[1]}: {json.dumps(headline)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -67,6 +67,11 @@ LAYER_BANDS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     # `shard` is the process-orchestration top of the package — both
     # stay in the fleet band even though they look lower-level.
     ("fleet", ("repro.fleet", "repro.fleet.table", "repro.fleet.shard")),
+    # The scenario engine composes fleet configs (so it sits above fleet)
+    # but is itself driven by experiments and the CLI (so below app). It
+    # must never import `repro.experiments`: the legacy schedule moved
+    # down into `repro.scenarios.generator` and the app band re-exports.
+    ("scenarios", ("repro.scenarios",)),
     ("app", ("repro.experiments", "repro.cli", "repro.__main__")),
 )
 
